@@ -1,0 +1,28 @@
+// Figure 2: traffic volume distribution of TP / EP / PP / DP for three
+// state-of-the-art MoE models under the Table 1 parallelism.
+//
+// Paper shape: Mixtral 8x7B is TP-dominated (~60%) with EP second (~30%);
+// LLaMA-MoE and Qwen-MoE (TP degree 1) are EP-dominated (>80%).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "moe/models.h"
+#include "moe/traffic.h"
+
+using namespace mixnet;
+using benchutil::fmt;
+
+int main() {
+  benchutil::header("Figure 2", "Traffic volume share per parallelism (%)");
+  benchutil::row({"Model", "TP", "EP", "PP", "DP", "total GB/iter"});
+  for (const auto& m : {moe::mixtral_8x7b(), moe::llama_moe(), moe::qwen_moe()}) {
+    const auto p = moe::default_parallelism(m);
+    const auto v = moe::iteration_traffic(m, p);
+    const double t = v.total();
+    benchutil::row({m.name, fmt(100.0 * v.tp / t, 1), fmt(100.0 * v.ep / t, 1),
+                    fmt(100.0 * v.pp / t, 1), fmt(100.0 * v.dp / t, 1),
+                    fmt(t / 1e9, 1)});
+  }
+  std::printf("\nPaper: Mixtral TP~60%%/EP~30%%; LLaMA-MoE & Qwen-MoE EP>80%%.\n");
+  return 0;
+}

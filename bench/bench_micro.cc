@@ -1,0 +1,125 @@
+// Micro-benchmarks (google-benchmark): hot paths of the MixNet control and
+// data planes -- Algorithm 1 allocation, max-min rate solving, routing, and
+// the Copilot projected-gradient solve. These bound the control-plane
+// latency budget: Algorithm 1 must run well under the OCS reconfiguration
+// delay (25 ms) to be usable in-training.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "eventsim/simulator.h"
+#include "net/flowsim.h"
+#include "net/routing.h"
+#include "ocs/algorithm.h"
+#include "predict/copilot.h"
+#include "topo/fabric.h"
+
+namespace mixnet {
+namespace {
+
+Matrix random_demand(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix d(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j && rng.uniform() < 0.5) d(i, j) = rng.uniform(1.0, 100.0);
+  return d;
+}
+
+void BM_Algorithm1(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix d = random_demand(n, 42);
+  for (auto _ : state) {
+    auto topo = ocs::reconfigure_ocs(d, 6);
+    benchmark::DoNotOptimize(topo.total_circuits);
+  }
+  state.SetLabel("servers=" + std::to_string(n));
+}
+BENCHMARK(BM_Algorithm1)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Algorithm1WorkConserving(benchmark::State& state) {
+  const Matrix d = random_demand(16, 43);
+  ocs::ReconfigureOptions opts;
+  opts.work_conserving = true;
+  for (auto _ : state) {
+    auto topo = ocs::reconfigure_ocs(d, 6, opts);
+    benchmark::DoNotOptimize(topo.total_circuits);
+  }
+}
+BENCHMARK(BM_Algorithm1WorkConserving);
+
+void BM_NicMapping(benchmark::State& state) {
+  const auto topo = ocs::reconfigure_ocs(random_demand(32, 44), 6);
+  for (auto _ : state) {
+    auto nics = ocs::nic_mapping(topo.counts, 6);
+    benchmark::DoNotOptimize(nics.size());
+  }
+}
+BENCHMARK(BM_NicMapping);
+
+void BM_FlowSimAllToAll(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  topo::FabricConfig cfg;
+  cfg.kind = topo::FabricKind::kFatTree;
+  cfg.n_servers = n;
+  auto fabric = topo::Fabric::build(cfg);
+  net::EcmpRouter router(fabric.network());
+  for (auto _ : state) {
+    eventsim::Simulator sim;
+    net::FlowSim flows(sim, fabric.network());
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        net::FlowSpec s;
+        s.src = fabric.server_node(i);
+        s.dst = fabric.server_node(j);
+        s.size = mib(4);
+        s.path = router.route(s.src, s.dst,
+                              net::mix_hash(static_cast<std::uint64_t>(i * n + j)));
+        flows.start_flow(std::move(s));
+      }
+    }
+    sim.run();
+    benchmark::DoNotOptimize(flows.completed_flow_count());
+  }
+  state.SetLabel("flows=" + std::to_string(n * (n - 1)));
+}
+BENCHMARK(BM_FlowSimAllToAll)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_EcmpRouting(benchmark::State& state) {
+  topo::FabricConfig cfg;
+  cfg.kind = topo::FabricKind::kFatTree;
+  cfg.n_servers = 128;
+  auto fabric = topo::Fabric::build(cfg);
+  net::EcmpRouter router(fabric.network());
+  std::uint64_t h = 0;
+  for (auto _ : state) {
+    auto path = router.route(fabric.server_node(0), fabric.server_node(127),
+                             net::mix_hash(++h));
+    benchmark::DoNotOptimize(path.size());
+  }
+}
+BENCHMARK(BM_EcmpRouting);
+
+void BM_CopilotSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  predict::CopilotConfig cfg;
+  cfg.n_experts = n;
+  cfg.resolve_every = 1;
+  Rng rng(7);
+  std::vector<std::pair<std::vector<double>, std::vector<double>>> obs;
+  for (int i = 0; i < 16; ++i)
+    obs.emplace_back(rng.dirichlet(static_cast<std::size_t>(n), 0.5),
+                     rng.dirichlet(static_cast<std::size_t>(n), 0.5));
+  for (auto _ : state) {
+    predict::Copilot cp(cfg);
+    for (const auto& [x, y] : obs) cp.observe(x, y);
+    benchmark::DoNotOptimize(cp.transition().sum());
+  }
+  state.SetLabel("experts=" + std::to_string(n));
+}
+BENCHMARK(BM_CopilotSolve)->Arg(8)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace mixnet
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation: it prints the same rows/series the paper reports, so results
+// can be compared shape-for-shape (EXPERIMENTS.md records the comparison).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mixnet::benchutil {
+
+inline void header(const std::string& id, const std::string& title) {
+  std::printf("\n==== %s: %s ====\n", id.c_str(), title.c_str());
+}
+
+inline void row(const std::vector<std::string>& cells, int width = 22) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace mixnet::benchutil

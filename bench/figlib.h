@@ -1,0 +1,44 @@
+// Shared configuration/measurement helpers for the figure harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/training_sim.h"
+
+namespace mixnet::benchutil {
+
+/// Standard §7.1 simulation setup: 8-GPU servers, 8 NICs, MixNet splits
+/// 2 EPS + 6 OCS, over-subscribed fat-tree is 3:1.
+inline sim::TrainingConfig sim_config(const moe::MoeModelConfig& model,
+                                      topo::FabricKind kind, double gbps,
+                                      int n_microbatches = 4) {
+  sim::TrainingConfig cfg;
+  cfg.model = model;
+  cfg.par = moe::default_parallelism(model);
+  cfg.par.n_microbatches = n_microbatches;
+  cfg.par_overridden = true;
+  cfg.fabric_kind = kind;
+  cfg.nic_gbps = gbps;
+  return cfg;
+}
+
+/// Average iteration time over `iters` iterations (first iteration included;
+/// topology state warms up within it).
+inline double measure_iteration_sec(sim::TrainingConfig cfg, int iters = 1) {
+  sim::TrainingSimulator simulator(std::move(cfg));
+  double total = 0.0;
+  for (int i = 0; i < iters; ++i) total += ns_to_sec(simulator.run_iteration().total);
+  return total / iters;
+}
+
+inline const std::vector<topo::FabricKind>& evaluated_fabrics() {
+  static const std::vector<topo::FabricKind> kinds = {
+      topo::FabricKind::kFatTree, topo::FabricKind::kRailOptimized,
+      topo::FabricKind::kOverSubFatTree, topo::FabricKind::kTopoOpt,
+      topo::FabricKind::kMixNet};
+  return kinds;
+}
+
+}  // namespace mixnet::benchutil

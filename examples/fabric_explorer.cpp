@@ -1,0 +1,70 @@
+// Fabric explorer: compare interconnects for a chosen MoE model and link
+// bandwidth from the command line.
+//
+//   ./build/examples/fabric_explorer [model] [gbps] [iterations]
+//
+//   model: mixtral8x7b | mixtral8x22b | llama | qwen | deepseek  (default: mixtral8x7b)
+//   gbps:  100 | 200 | 400 | 800                                  (default: 400)
+//
+// Prints per-fabric iteration time, EP communication time, networking cost
+// and the performance-per-dollar ratio -- the paper's Fig. 12/13 view for a
+// single configuration.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "sim/training_sim.h"
+
+using namespace mixnet;
+
+namespace {
+
+moe::MoeModelConfig parse_model(const std::string& name) {
+  if (name == "mixtral8x22b") return moe::mixtral_8x22b();
+  if (name == "llama") return moe::llama_moe();
+  if (name == "qwen") return moe::qwen_moe();
+  if (name == "deepseek") return moe::deepseek_r1();
+  return moe::mixtral_8x7b();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string model_name = argc > 1 ? argv[1] : "mixtral8x7b";
+  const double gbps_ = argc > 2 ? std::atof(argv[2]) : 400.0;
+  const int iters = argc > 3 ? std::atoi(argv[3]) : 1;
+
+  const auto model = parse_model(model_name);
+  std::printf("Model: %s  |  link bandwidth: %.0f Gbps  |  %d iteration(s)\n\n",
+              model.name.c_str(), gbps_, iters);
+  std::printf("%-20s %-12s %-12s %-12s %-12s\n", "Fabric", "iter (s)", "EP comm (s)",
+              "cost (M$)", "perf/$ (rel)");
+
+  double ref_ppd = 0.0;
+  for (auto kind : {topo::FabricKind::kFatTree, topo::FabricKind::kRailOptimized,
+                    topo::FabricKind::kOverSubFatTree, topo::FabricKind::kTopoOpt,
+                    topo::FabricKind::kMixNet}) {
+    sim::TrainingConfig cfg;
+    cfg.model = model;
+    cfg.fabric_kind = kind;
+    cfg.nic_gbps = gbps_;
+    sim::TrainingSimulator simulator(cfg);
+    double total = 0.0, ep = 0.0;
+    for (int i = 0; i < iters; ++i) {
+      const auto r = simulator.run_iteration();
+      total += ns_to_sec(r.total);
+      ep += ns_to_sec(r.ep_comm);
+    }
+    total /= iters;
+    ep /= iters;
+    const double cost_musd = cost::fabric_cost_musd(
+        kind, simulator.placement().total_gpus(), static_cast<int>(gbps_));
+    const double ppd = 1.0 / (total * cost_musd);
+    if (ref_ppd == 0.0) ref_ppd = ppd;
+    std::printf("%-20s %-12.2f %-12.2f %-12.2f %-12.2f\n", topo::to_string(kind),
+                total, ep, cost_musd, ppd / ref_ppd);
+  }
+  std::printf("\nperf/$ is normalized to the first row (fat-tree).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Quickstart: train a few iterations of Mixtral 8x7B on a MixNet fabric and
+// watch the regional OCS reconfigure around the gate's routing decisions.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "sim/training_sim.h"
+
+int main() {
+  using namespace mixnet;
+
+  sim::TrainingConfig cfg;
+  cfg.model = moe::mixtral_8x7b();
+  cfg.fabric_kind = topo::FabricKind::kMixNet;
+  cfg.nic_gbps = 400.0;
+
+  sim::TrainingSimulator simulator(cfg);
+  std::printf("MixNet quickstart: %s on %d GPUs (%d servers, %d OCS regions)\n",
+              cfg.model.name.c_str(), simulator.placement().total_gpus(),
+              simulator.fabric().n_servers(), simulator.fabric().n_regions());
+  std::printf("%-6s %-12s %-12s %-14s %-10s\n", "iter", "time (s)", "EP comm (s)",
+              "blocked (ms)", "reconfigs");
+
+  for (int i = 0; i < 5; ++i) {
+    const auto r = simulator.run_iteration();
+    std::printf("%-6d %-12.3f %-12.3f %-14.3f %-10d\n", i, ns_to_sec(r.total),
+                ns_to_sec(r.ep_comm), ns_to_ms(r.reconfig_blocked),
+                r.reconfigurations);
+  }
+
+  const auto& t = simulator.layer_timeline();
+  std::printf("\nOne MoE block (forward): attn %.1f ms | gate %.1f ms | "
+              "a2a#1 %.1f ms | expert %.1f ms | a2a#2 %.1f ms | norm %.1f ms\n",
+              ns_to_ms(t.attention), ns_to_ms(t.gate), ns_to_ms(t.a2a1),
+              ns_to_ms(t.expert), ns_to_ms(t.a2a2), ns_to_ms(t.add_norm));
+  std::printf("Reconfiguration fully hidden under compute: %s\n",
+              t.reconfig_blocked == 0 ? "yes" : "no");
+  return 0;
+}

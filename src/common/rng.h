@@ -1,0 +1,83 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component in the repo (gate simulator, failure injection,
+// hardware latency models) takes an explicit Rng so that a seed fully
+// determines an experiment. The generator is xoshiro256**, seeded via
+// SplitMix64, matching the reference implementations by Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mixnet {
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initialise the state from a 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second deviate).
+  double normal();
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Log-normal with parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with given rate (lambda).
+  double exponential(double rate);
+
+  /// Marsaglia-Tsang gamma variate, shape k > 0, scale theta = 1.
+  double gamma(double shape);
+
+  /// Dirichlet sample of dimension n with common concentration alpha.
+  std::vector<double> dirichlet(std::size_t n, double alpha);
+
+  /// Dirichlet with per-component concentrations.
+  std::vector<double> dirichlet(const std::vector<double>& alpha);
+
+  /// Sample an index from an (unnormalised) non-negative weight vector.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_int(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Fork a statistically independent child stream (for per-component seeds).
+  Rng fork();
+
+ private:
+  result_type next();
+
+  std::array<std::uint64_t, 4> state_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace mixnet

@@ -1,0 +1,67 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mixnet {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double idx = p * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double coeff_of_variation(const std::vector<double>& xs) {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return stddev(xs) / m;
+}
+
+double jain_fairness(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double s = 0.0, s2 = 0.0;
+  for (double x : xs) {
+    s += x;
+    s2 += x * x;
+  }
+  if (s2 == 0.0) return 1.0;
+  return s * s / (static_cast<double>(xs.size()) * s2);
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs, std::size_t points) {
+  std::vector<CdfPoint> out;
+  if (xs.empty() || points == 0) return out;
+  std::sort(xs.begin(), xs.end());
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p =
+        points == 1 ? 1.0 : static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto idx = static_cast<std::size_t>(p * static_cast<double>(xs.size() - 1));
+    out.push_back({xs[idx], p});
+  }
+  return out;
+}
+
+}  // namespace mixnet

@@ -1,0 +1,30 @@
+// Lightweight descriptive statistics used by benches and the hardware model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mixnet {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  // population variance
+double stddev(const std::vector<double>& xs);
+
+/// p in [0, 1]; linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double p);
+
+/// Coefficient of variation (stddev / mean); 0 for empty or zero-mean input.
+double coeff_of_variation(const std::vector<double>& xs);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 == perfectly uniform.
+double jain_fairness(const std::vector<double>& xs);
+
+/// Empirical CDF evaluated at `points.size()` evenly spaced probabilities;
+/// returns {value, cumulative_probability} pairs for printing.
+struct CdfPoint {
+  double value;
+  double probability;
+};
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs, std::size_t points);
+
+}  // namespace mixnet

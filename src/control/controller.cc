@@ -1,0 +1,77 @@
+#include "control/controller.h"
+
+#include <algorithm>
+
+namespace mixnet::control {
+
+TopologyController::TopologyController(topo::Fabric& fabric, int region,
+                                       ControllerConfig cfg)
+    : fabric_(fabric), region_(region), cfg_(cfg) {
+  // Hybrid-aware completion times (see ReconfigureOptions): a pair left
+  // without circuits rides the server's EPS NICs, typically shared with one
+  // or two other cold pairs.
+  cfg_.algo.circuit_bps = fabric_.config().ocs_bw();
+  if (fabric_.has_eps()) {
+    // Per-server EPS bandwidth; the allocator models unwired pairs as
+    // draining their server's residual EPS load at this rate.
+    cfg_.algo.eps_fallback_bps =
+        fabric_.config().eps_nics * fabric_.config().nic_bw();
+  }
+}
+
+TopologyController::Outcome TopologyController::prepare(const Matrix& demand,
+                                                        TimeNs hide_window) {
+  Outcome out;
+  const int alpha = fabric_.optical_degree();
+  ocs::OcsTopology next;
+  if (cfg_.policy == CircuitPolicy::kUniform) {
+    next.counts = ocs::uniform_topology(demand.rows(), alpha);
+    if (!cfg_.algo.excluded.empty()) {
+      for (std::size_t i = 0; i < next.counts.rows(); ++i) {
+        if (!cfg_.algo.excluded[i]) continue;
+        for (std::size_t j = 0; j < next.counts.cols(); ++j) {
+          next.counts(i, j) = 0.0;
+          next.counts(j, i) = 0.0;
+        }
+      }
+    }
+    next.total_circuits = static_cast<int>(next.counts.sum() / 2.0);
+  } else {
+    next = ocs::reconfigure_ocs(demand, alpha, cfg_.algo);
+  }
+
+  if (has_topology_ && cfg_.skip_identical && next.counts == current_.counts) {
+    out.circuits = current_.total_circuits;
+    return out;  // nothing to do; circuits already match
+  }
+
+  fabric_.apply_circuits(region_, next.counts);
+  current_ = std::move(next);
+  has_topology_ = true;
+  ++reconfigs_;
+  out.reconfigured = true;
+  out.circuits = current_.total_circuits;
+  out.blocked = std::max<TimeNs>(cfg_.reconfig_delay - hide_window, 0);
+  total_blocked_ += out.blocked;
+  return out;
+}
+
+void TopologyController::exclude(const std::vector<bool>& excluded_local) {
+  cfg_.algo.excluded = excluded_local;
+  if (has_topology_) {
+    // Tear down circuits touching excluded servers immediately.
+    Matrix counts = current_.counts;
+    for (std::size_t i = 0; i < counts.rows(); ++i) {
+      if (i < excluded_local.size() && excluded_local[i]) {
+        for (std::size_t j = 0; j < counts.cols(); ++j) {
+          counts(i, j) = 0.0;
+          counts(j, i) = 0.0;
+        }
+      }
+    }
+    fabric_.apply_circuits(region_, counts);
+    current_.counts = counts;
+  }
+}
+
+}  // namespace mixnet::control

@@ -1,0 +1,71 @@
+// Decentralized regional topology controller (§5.2, Fig. 20).
+//
+// One controller instance manages one regionally reconfigurable OCS domain:
+// it turns demand matrices into circuit allocations (Algorithm 1), applies
+// them to the fabric, and accounts for the reconfiguration delay. A
+// reconfiguration can be *hidden* under a concurrent computation window
+// (attention/gate for the forward pass, the larger backward compute for BP);
+// whatever part of the delay does not fit the window blocks training
+// (Fig. 28 sensitivity comes directly from this accounting).
+//
+// The controller is deliberately local: it never sees other regions, which
+// is how MixNet sidesteps centralized control-plane scalability (§4.2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/matrix.h"
+#include "ocs/algorithm.h"
+#include "topo/fabric.h"
+
+namespace mixnet::control {
+
+enum class CircuitPolicy {
+  kGreedy,   ///< Algorithm 1 (the paper's allocator)
+  kUniform,  ///< demand-oblivious circulant spread (ablation baseline)
+};
+
+struct ControllerConfig {
+  TimeNs reconfig_delay = ms_to_ns(25);  ///< §7.1 default (Polatis-class OCS)
+  /// Skip reconfiguration when the new allocation equals the current one
+  /// (consecutive micro-batches usually route near-identically).
+  bool skip_identical = true;
+  CircuitPolicy policy = CircuitPolicy::kGreedy;
+  ocs::ReconfigureOptions algo;
+};
+
+class TopologyController {
+ public:
+  TopologyController(topo::Fabric& fabric, int region, ControllerConfig cfg);
+
+  struct Outcome {
+    bool reconfigured = false;
+    TimeNs blocked = 0;      ///< reconfig time that could not be hidden
+    int circuits = 0;        ///< total circuits now installed
+  };
+
+  /// Prepare the region's circuits for a layer's all-to-all phases given its
+  /// (symmetric or asymmetric) inter-server demand. `hide_window` is the
+  /// concurrent compute time available to mask the reconfiguration.
+  Outcome prepare(const Matrix& demand, TimeNs hide_window);
+
+  /// Exclude failed servers (region-local indices) from future allocations
+  /// and tear down their circuits (§5.4 runtime reconfiguration).
+  void exclude(const std::vector<bool>& excluded_local);
+
+  const ocs::OcsTopology& current() const { return current_; }
+  int reconfig_count() const { return reconfigs_; }
+  TimeNs total_blocked() const { return total_blocked_; }
+
+ private:
+  topo::Fabric& fabric_;
+  int region_;
+  ControllerConfig cfg_;
+  ocs::OcsTopology current_;
+  bool has_topology_ = false;
+  int reconfigs_ = 0;
+  TimeNs total_blocked_ = 0;
+};
+
+}  // namespace mixnet::control

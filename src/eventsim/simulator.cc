@@ -1,0 +1,66 @@
+#include "eventsim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mixnet::eventsim {
+
+EventId Simulator::schedule_at(TimeNs t, std::function<void()> fn) {
+  assert(t >= now_);
+  const EventId id = next_id_++;
+  tombstone_.push_back(false);
+  queue_.push(Event{t, id, std::move(fn)});
+  ++live_events_;
+  return id;
+}
+
+EventId Simulator::schedule_after(TimeNs delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (tombstone_[id - 1]) return false;
+  tombstone_[id - 1] = true;
+  if (live_events_ > 0) --live_events_;
+  return true;
+}
+
+bool Simulator::pop_one() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (tombstone_[ev.id - 1]) continue;  // lazily dropped
+    tombstone_[ev.id - 1] = true;
+    --live_events_;
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (pop_one()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(TimeNs t) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (tombstone_[top.id - 1]) {
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    if (pop_one()) ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+bool Simulator::step() { return pop_one(); }
+
+}  // namespace mixnet::eventsim

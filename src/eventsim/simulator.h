@@ -1,0 +1,75 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns the virtual clock and an event queue. Events are arbitrary
+// callbacks scheduled for a future instant; ties are broken by insertion
+// order so simulations are fully deterministic. All higher layers (flow
+// simulator, training simulator, topology controllers) share one Simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace mixnet::eventsim {
+
+/// Handle used to cancel a scheduled event.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  TimeNs now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(TimeNs t, std::function<void()> fn);
+
+  /// Schedule `fn` after a relative delay.
+  EventId schedule_after(TimeNs delay, std::function<void()> fn);
+
+  /// Cancel a pending event; returns false if already fired or cancelled.
+  bool cancel(EventId id);
+
+  /// Run events until the queue drains. Returns number of events processed.
+  std::size_t run();
+
+  /// Run events with timestamp <= t, then set now() = t.
+  std::size_t run_until(TimeNs t);
+
+  /// Process exactly one event if available; returns false on empty queue.
+  bool step();
+
+  bool empty() const { return live_events_ == 0; }
+  std::size_t pending() const { return live_events_; }
+
+ private:
+  struct Event {
+    TimeNs time;
+    EventId id;
+    std::function<void()> fn;  // empty when cancelled
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  bool pop_one();
+
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventId> cancelled_;  // sorted insertion cost amortised via flag set
+  // Cancellation uses lazy deletion: ids are recorded and skipped on pop.
+  std::vector<bool> tombstone_;  // indexed by EventId (dense, monotone ids)
+};
+
+}  // namespace mixnet::eventsim

@@ -1,0 +1,260 @@
+#include "moe/gate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mixnet::moe {
+
+namespace {
+
+void normalize(std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  if (s <= 0.0) {
+    std::fill(v.begin(), v.end(), 1.0 / static_cast<double>(v.size()));
+    return;
+  }
+  for (double& x : v) x /= s;
+}
+
+}  // namespace
+
+GateSimulator::GateSimulator(const GateConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+  assert(cfg_.n_experts >= cfg_.ep_ranks || cfg_.n_experts > 0);
+  experts_per_rank_ = std::max(1, cfg_.n_experts / cfg_.ep_ranks);
+
+  logits_.resize(static_cast<std::size_t>(cfg_.n_experts));
+  for (auto& z : logits_) z = rng_.normal(0.0, 1.0);
+
+  // Column-stochastic transition matrices, one per layer boundary.
+  transitions_.reserve(static_cast<std::size_t>(cfg_.n_layers));
+  transitions_.emplace_back();  // layer 0 has no predecessor
+  for (int l = 1; l < cfg_.n_layers; ++l) {
+    Matrix m(static_cast<std::size_t>(cfg_.n_experts),
+             static_cast<std::size_t>(cfg_.n_experts));
+    for (int src = 0; src < cfg_.n_experts; ++src) {
+      auto col = rng_.dirichlet(static_cast<std::size_t>(cfg_.n_experts),
+                                cfg_.transition_alpha);
+      for (int dst = 0; dst < cfg_.n_experts; ++dst)
+        m(static_cast<std::size_t>(dst), static_cast<std::size_t>(src)) =
+            col[static_cast<std::size_t>(dst)];
+    }
+    transitions_.push_back(std::move(m));
+  }
+
+  // Sparse per-(rank, layer) preferences: a rank's token shard shares
+  // domain/semantics, so it prefers a few experts at *every* layer. This is
+  // what keeps the all-to-all matrix non-uniform even after the
+  // load-balancing loss flattens the aggregate expert loads (Fig. 4b
+  // persists while Fig. 4a converges -- the DeepSeek-V3 observation in §3).
+  // Preferences follow an OU random walk in logit space so the hot pairs
+  // *move* over training -- the temporal dynamics that one-shot topologies
+  // (TopoOpt) cannot follow.
+  const double pref_sd =
+      cfg_.pref_drift_sigma /
+      std::sqrt(std::max(1.0 - cfg_.pref_retention * cfg_.pref_retention, 1e-6));
+  pref_logits_.resize(static_cast<std::size_t>(cfg_.ep_ranks) *
+                      static_cast<std::size_t>(cfg_.n_layers));
+  rank_pref_.resize(pref_logits_.size());
+  for (std::size_t k = 0; k < pref_logits_.size(); ++k) {
+    auto& z = pref_logits_[k];
+    z.resize(static_cast<std::size_t>(cfg_.n_experts));
+    for (auto& v : z) v = rng_.normal(0.0, pref_sd);
+    auto& p = rank_pref_[k];
+    p.resize(z.size());
+    for (std::size_t e = 0; e < z.size(); ++e) p[e] = std::exp(z[e]);
+    normalize(p);
+  }
+
+  q_.assign(static_cast<std::size_t>(cfg_.n_layers),
+            std::vector<std::vector<double>>(
+                static_cast<std::size_t>(cfg_.ep_ranks),
+                std::vector<double>(static_cast<std::size_t>(cfg_.n_experts))));
+  load_.assign(static_cast<std::size_t>(cfg_.n_layers),
+               std::vector<double>(static_cast<std::size_t>(cfg_.n_experts)));
+  counts_.assign(static_cast<std::size_t>(cfg_.n_layers),
+                 Matrix(static_cast<std::size_t>(cfg_.ep_ranks),
+                        static_cast<std::size_t>(cfg_.n_experts)));
+  refresh_distributions();
+  realize_counts();
+}
+
+double GateSimulator::lb_mix() const {
+  return cfg_.lb_final * (1.0 - std::exp(-static_cast<double>(iter_) / cfg_.lb_timescale));
+}
+
+void GateSimulator::skip(int n) {
+  for (int i = 0; i < n - 1; ++i) {
+    ++iter_;
+    advance_state();
+  }
+  if (n > 0) step();
+}
+
+void GateSimulator::step() {
+  ++iter_;
+  advance_state();
+  refresh_distributions();
+  realize_counts();
+}
+
+void GateSimulator::advance_state() {
+  // Popularity random walk with mean reversion (Ornstein-Uhlenbeck): the
+  // walk keeps expert popularity moving between iterations (Fig. 4a) while
+  // the pull toward 0 keeps its stationary spread bounded, so the
+  // load-balancing mix below can actually flatten the distribution over
+  // training instead of racing a diverging walk.
+  for (auto& z : logits_) z = 0.985 * z + rng_.normal(0.0, cfg_.drift_sigma);
+  // Preference drift: hot (rank, expert) affinities wander on a ~50-
+  // iteration timescale while staying sparse (OU stationary spread).
+  for (std::size_t k = 0; k < pref_logits_.size(); ++k) {
+    auto& z = pref_logits_[k];
+    auto& p = rank_pref_[k];
+    for (std::size_t e = 0; e < z.size(); ++e) {
+      z[e] = cfg_.pref_retention * z[e] + rng_.normal(0.0, cfg_.pref_drift_sigma);
+      p[e] = std::exp(z[e]);
+    }
+    normalize(p);
+  }
+  // Occasional transition drift so the Markov structure is non-stationary
+  // but learnable within a prediction window.
+  if (iter_ % 50 == 0) {
+    for (int l = 1; l < cfg_.n_layers; ++l) {
+      Matrix& m = transitions_[static_cast<std::size_t>(l)];
+      for (int src = 0; src < cfg_.n_experts; ++src) {
+        auto noise = rng_.dirichlet(static_cast<std::size_t>(cfg_.n_experts),
+                                    cfg_.transition_alpha);
+        double col_sum = 0.0;
+        for (int dst = 0; dst < cfg_.n_experts; ++dst) {
+          auto& v = m(static_cast<std::size_t>(dst), static_cast<std::size_t>(src));
+          v = 0.97 * v + 0.03 * noise[static_cast<std::size_t>(dst)];
+          col_sum += v;
+        }
+        for (int dst = 0; dst < cfg_.n_experts; ++dst)
+          m(static_cast<std::size_t>(dst), static_cast<std::size_t>(src)) /= col_sum;
+      }
+    }
+  }
+}
+
+void GateSimulator::refresh_distributions() {
+  const auto E = static_cast<std::size_t>(cfg_.n_experts);
+  const double mix = lb_mix();
+  const double uniform = 1.0 / static_cast<double>(E);
+
+  // Layer-0 popularity from logits (softmax); the load-balancing loss acts
+  // below via marginal flattening, not here.
+  std::vector<double> pi0(E);
+  double zmax = logits_[0];
+  for (double z : logits_) zmax = std::max(zmax, z);
+  for (std::size_t e = 0; e < E; ++e) pi0[e] = std::exp(logits_[e] - zmax);
+  normalize(pi0);
+
+  // Load-balancing loss model: experts converge toward equal *total* token
+  // counts while each rank keeps its relative preferences -- a fractional
+  // step of iterative proportional fitting toward uniform column marginals.
+  auto balance_layer = [&](int l) {
+    auto& layer_q = q_[static_cast<std::size_t>(l)];
+    std::vector<double> marginal(E, 0.0);
+    for (const auto& q : layer_q)
+      for (std::size_t e = 0; e < E; ++e) marginal[e] += q[e];
+    normalize(marginal);
+    for (auto& q : layer_q) {
+      for (std::size_t e = 0; e < E; ++e)
+        q[e] *= std::pow(uniform / std::max(marginal[e], 1e-9), mix);
+      normalize(q);
+    }
+  };
+
+  const double gamma = cfg_.personalization;
+  auto pref_of = [&](int h, int l) -> const std::vector<double>& {
+    return rank_pref_[static_cast<std::size_t>(l) *
+                          static_cast<std::size_t>(cfg_.ep_ranks) +
+                      static_cast<std::size_t>(h)];
+  };
+  for (int h = 0; h < cfg_.ep_ranks; ++h) {
+    auto& q0 = q_[0][static_cast<std::size_t>(h)];
+    const auto& pref = pref_of(h, 0);
+    for (std::size_t e = 0; e < E; ++e)
+      q0[e] = pi0[e] * std::pow(std::max(pref[e], 1e-9), gamma);
+    normalize(q0);
+  }
+  balance_layer(0);
+  // Propagate through the Markov chain, re-personalizing and re-balancing at
+  // every layer.
+  for (int l = 1; l < cfg_.n_layers; ++l) {
+    const Matrix& m = transitions_[static_cast<std::size_t>(l)];
+    for (int h = 0; h < cfg_.ep_ranks; ++h) {
+      auto& q = q_[static_cast<std::size_t>(l)][static_cast<std::size_t>(h)];
+      q = m.mul(q_[static_cast<std::size_t>(l - 1)][static_cast<std::size_t>(h)]);
+      const auto& pref = pref_of(h, l);
+      for (std::size_t e = 0; e < E; ++e) {
+        q[e] *= std::pow(std::max(pref[e], 1e-9), gamma);
+      }
+      normalize(q);
+    }
+    balance_layer(l);
+  }
+  for (int l = 0; l < cfg_.n_layers; ++l) {
+    auto& load = load_[static_cast<std::size_t>(l)];
+    std::fill(load.begin(), load.end(), 0.0);
+    for (int h = 0; h < cfg_.ep_ranks; ++h)
+      for (std::size_t e = 0; e < E; ++e)
+        load[e] += q_[static_cast<std::size_t>(l)][static_cast<std::size_t>(h)][e];
+    normalize(load);
+  }
+}
+
+void GateSimulator::realize_counts() {
+  const auto E = static_cast<std::size_t>(cfg_.n_experts);
+  const double n = cfg_.tokens_per_rank;
+  for (int l = 0; l < cfg_.n_layers; ++l) {
+    Matrix& c = counts_[static_cast<std::size_t>(l)];
+    for (int h = 0; h < cfg_.ep_ranks; ++h) {
+      const auto& q = q_[static_cast<std::size_t>(l)][static_cast<std::size_t>(h)];
+      double total = 0.0;
+      for (std::size_t e = 0; e < E; ++e) {
+        const double meanv = n * q[e];
+        const double var = n * q[e] * (1.0 - q[e]);
+        double v = meanv + rng_.normal(0.0, std::sqrt(std::max(var, 0.0)));
+        v = std::max(v, 0.0);
+        c(static_cast<std::size_t>(h), e) = v;
+        total += v;
+      }
+      if (total > 0.0) {
+        const double scale = n / total;
+        for (std::size_t e = 0; e < E; ++e) c(static_cast<std::size_t>(h), e) *= scale;
+      }
+    }
+  }
+}
+
+const std::vector<double>& GateSimulator::expert_load(int layer) const {
+  return load_[static_cast<std::size_t>(layer)];
+}
+
+const Matrix& GateSimulator::dispatch_counts(int layer) const {
+  return counts_[static_cast<std::size_t>(layer)];
+}
+
+Matrix GateSimulator::rank_dispatch_matrix(int layer, double bytes_per_slot) const {
+  const Matrix& c = counts_[static_cast<std::size_t>(layer)];
+  const auto R = static_cast<std::size_t>(cfg_.ep_ranks);
+  Matrix t(R, R, 0.0);
+  const auto epr = static_cast<std::size_t>(experts_per_rank_);
+  for (std::size_t h = 0; h < R; ++h) {
+    for (std::size_t e = 0; e < static_cast<std::size_t>(cfg_.n_experts); ++e) {
+      const std::size_t owner = std::min(e / epr, R - 1);
+      t(h, owner) += c(h, e) * bytes_per_slot;
+    }
+  }
+  return t;
+}
+
+const Matrix& GateSimulator::transition(int layer) const {
+  assert(layer >= 1);
+  return transitions_[static_cast<std::size_t>(layer)];
+}
+
+}  // namespace mixnet::moe

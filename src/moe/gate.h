@@ -1,0 +1,101 @@
+// Gate simulator: the production-trace substitute (DESIGN.md §2).
+//
+// Generates per-iteration, per-layer token-to-expert routing with the three
+// statistical properties the paper measures on a production cluster (§3):
+//
+//   1. temporal dynamics  -- expert popularity follows a logit random walk,
+//      with a load-balancing-loss pull toward uniform that strengthens as
+//      training progresses (Fig. 4a: variability decreases over time);
+//   2. spatial non-uniformity -- popularity is Dirichlet-sparse and each
+//      token home rank has a personalized preference mix, so all-to-all
+//      matrices have hot rows *and* columns (Fig. 4b);
+//   3. inter-layer structure -- expert choice at layer l+1 is Markov in the
+//      choice at layer l (column-stochastic transition matrix per layer),
+//      which is exactly the structure MixNet-Copilot (§B.1) exploits.
+//
+// Token counts are realized with a Gaussian approximation of the multinomial
+// (exact for the >10^3 tokens per rank used everywhere), clipped and
+// renormalized so per-rank totals are preserved.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace mixnet::moe {
+
+struct GateConfig {
+  int n_experts = 8;
+  int n_layers = 4;
+  int ep_ranks = 8;            ///< token home ranks (== EP degree)
+  double tokens_per_rank = 4096.0;  ///< token*top_k slots dispatched per rank
+  double dirichlet_alpha = 0.25;    ///< popularity sparsity (lower = sparser)
+  double transition_alpha = 0.08;   ///< Markov column concentration
+  double personalization = 0.75;    ///< per-rank preference strength [0,1]
+  double drift_sigma = 0.06;        ///< per-iteration popularity logit walk
+  double pref_drift_sigma = 0.44;   ///< per-iteration preference logit walk
+  double pref_retention = 0.98;     ///< OU mean reversion of preferences
+  double lb_final = 0.45;           ///< asymptotic load-balancing mix [0,1]
+  double lb_timescale = 2000.0;     ///< iterations to approach lb_final
+  std::uint64_t seed = 42;
+};
+
+class GateSimulator {
+ public:
+  explicit GateSimulator(const GateConfig& cfg);
+
+  /// Advance one training iteration (re-samples routing).
+  void step();
+
+  /// Advance `n` iterations cheaply: the stochastic state (popularity,
+  /// preferences, transitions) moves forward but distributions and counts
+  /// are only materialized on the last step. Used to fast-forward past a
+  /// planning snapshot (one-shot-topology staleness).
+  void skip(int n);
+
+  int iteration() const { return iter_; }
+  const GateConfig& config() const { return cfg_; }
+
+  /// Normalized expert load for a layer (sums to 1).
+  const std::vector<double>& expert_load(int layer) const;
+
+  /// Realized dispatch counts: rows = home rank, cols = expert (token slots).
+  const Matrix& dispatch_counts(int layer) const;
+
+  /// EP-rank all-to-all matrix in bytes for the *dispatch* (first) all-to-all
+  /// of a layer: entry (src_rank, dst_rank). `experts_per_rank` experts are
+  /// owned contiguously per rank; `bytes_per_slot` is hidden*dtype bytes.
+  /// The combine (second) all-to-all is this matrix transposed (§5.1).
+  Matrix rank_dispatch_matrix(int layer, double bytes_per_slot) const;
+
+  /// Ground-truth inter-layer transition matrix (column-stochastic),
+  /// mapping layer `layer-1` loads to layer `layer` loads. For tests and
+  /// Copilot oracle comparisons.
+  const Matrix& transition(int layer) const;
+
+  /// Current load-balancing mixing coefficient (0 early, -> lb_final).
+  double lb_mix() const;
+
+ private:
+  void advance_state();
+  void refresh_distributions();
+  void realize_counts();
+
+  GateConfig cfg_;
+  Rng rng_;
+  int experts_per_rank_ = 1;
+  int iter_ = 0;
+  std::vector<double> logits_;                 // layer-0 popularity logits
+  std::vector<Matrix> transitions_;            // per layer >= 1
+  // Per (layer, rank) preference logits (OU process) and derived weights.
+  std::vector<std::vector<double>> pref_logits_;
+  std::vector<std::vector<double>> rank_pref_;
+  // Per layer: per home rank expert distribution, loads, realized counts.
+  std::vector<std::vector<std::vector<double>>> q_;  // [layer][rank][expert]
+  std::vector<std::vector<double>> load_;            // [layer][expert]
+  std::vector<Matrix> counts_;                       // [layer] (rank x expert)
+};
+
+}  // namespace mixnet::moe

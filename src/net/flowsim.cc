@@ -1,0 +1,222 @@
+#include "net/flowsim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mixnet::net {
+
+namespace {
+// Flows are considered complete when less than half a byte remains; fluid
+// rates are real-valued so exact zero is not reachable in general.
+constexpr Bytes kCompletionEps = 0.5;
+}  // namespace
+
+FlowSim::FlowSim(eventsim::Simulator& sim, const Network& net) : sim_(sim), net_(net) {}
+
+FlowId FlowSim::start_flow(FlowSpec spec) {
+  assert((spec.src == spec.dst) == spec.path.empty());
+  const FlowId id = next_id_++;
+  ActiveFlow f;
+  f.remaining = std::max<Bytes>(spec.size, 0.0);
+  f.start_time = sim_.now();
+  for (LinkId lid : spec.path) f.path_delay += net_.link(lid).delay;
+  f.spec = std::move(spec);
+
+  if (f.spec.path.empty()) {
+    // Intra-node transfer: completes after fixed latency only.
+    auto cb = f.spec.on_complete;
+    const TimeNs done = sim_.now() + f.spec.extra_delay + 1;
+    sim_.schedule_at(done, [cb, id, done] {
+      if (cb) cb(id, done);
+    });
+    ++completed_;
+    bytes_delivered_ += f.remaining;
+    return id;
+  }
+
+  advance_progress();
+  flows_.emplace(id, std::move(f));
+  if (!in_batch_) {
+    solve_rates();
+    schedule_next_completion();
+  }
+  return id;
+}
+
+bool FlowSim::cancel_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  advance_progress();
+  flows_.erase(it);
+  if (!in_batch_) {
+    solve_rates();
+    schedule_next_completion();
+  }
+  return true;
+}
+
+void FlowSim::on_topology_change() {
+  advance_progress();
+  if (!in_batch_) {
+    solve_rates();
+    schedule_next_completion();
+  }
+}
+
+Bps FlowSim::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+Bps FlowSim::link_throughput(LinkId id) const {
+  Bps total = 0.0;
+  for (const auto& [fid, f] : flows_) {
+    for (LinkId lid : f.spec.path)
+      if (lid == id) total += f.rate;
+  }
+  return total;
+}
+
+void FlowSim::advance_progress() {
+  const TimeNs now = sim_.now();
+  const double dt = ns_to_sec(now - last_progress_time_);
+  if (dt > 0.0) {
+    for (auto& [id, f] : flows_) {
+      f.remaining -= f.rate * dt;
+      if (f.remaining < 0.0) f.remaining = 0.0;
+    }
+  }
+  last_progress_time_ = now;
+}
+
+void FlowSim::solve_rates() {
+  // Progressive filling. Working state is rebuilt each solve; link ids index
+  // dense arrays sized to the network.
+  const std::size_t n_links = net_.link_count();
+  static thread_local std::vector<double> rem_cap;
+  static thread_local std::vector<std::int32_t> unfrozen_count;
+  rem_cap.assign(n_links, 0.0);
+  unfrozen_count.assign(n_links, 0);
+
+  std::vector<ActiveFlow*> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (auto& [id, f] : flows_) {
+    f.rate = 0.0;
+    bool stalled = false;
+    for (LinkId lid : f.spec.path) {
+      const Link& l = net_.link(lid);
+      if (!l.up || l.capacity <= 0.0) {
+        stalled = true;
+        break;
+      }
+    }
+    if (stalled) continue;  // rate stays 0 until topology change
+    unfrozen.push_back(&f);
+    for (LinkId lid : f.spec.path) ++unfrozen_count[static_cast<std::size_t>(lid)];
+  }
+  for (std::size_t lid = 0; lid < n_links; ++lid) {
+    if (unfrozen_count[lid] > 0) rem_cap[lid] = net_.link(static_cast<LinkId>(lid)).capacity;
+  }
+
+  // Links actually in use this solve (avoids scanning the whole link table
+  // every filling iteration on large fabrics).
+  std::vector<LinkId> active_links;
+  for (std::size_t lid = 0; lid < n_links; ++lid)
+    if (unfrozen_count[lid] > 0) active_links.push_back(static_cast<LinkId>(lid));
+
+  while (!unfrozen.empty()) {
+    // Bottleneck fair share across active links.
+    double min_share = std::numeric_limits<double>::infinity();
+    for (LinkId lid : active_links) {
+      const auto i = static_cast<std::size_t>(lid);
+      if (unfrozen_count[i] <= 0) continue;
+      const double share = rem_cap[i] / unfrozen_count[i];
+      min_share = std::min(min_share, share);
+    }
+    if (!std::isfinite(min_share)) break;
+    if (min_share < 0.0) min_share = 0.0;
+
+    // Freeze every flow crossing a bottleneck link at min_share.
+    bool froze_any = false;
+    for (std::size_t i = 0; i < unfrozen.size();) {
+      ActiveFlow* f = unfrozen[i];
+      bool bottlenecked = false;
+      for (LinkId lid : f->spec.path) {
+        const auto li = static_cast<std::size_t>(lid);
+        const double share = rem_cap[li] / unfrozen_count[li];
+        if (share <= min_share * (1.0 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) {
+        ++i;
+        continue;
+      }
+      f->rate = min_share;
+      for (LinkId lid : f->spec.path) {
+        const auto li = static_cast<std::size_t>(lid);
+        rem_cap[li] -= min_share;
+        if (rem_cap[li] < 0.0) rem_cap[li] = 0.0;
+        --unfrozen_count[li];
+      }
+      unfrozen[i] = unfrozen.back();
+      unfrozen.pop_back();
+      froze_any = true;
+    }
+    if (!froze_any) break;  // numerical guard; should not happen
+  }
+}
+
+void FlowSim::schedule_next_completion() {
+  if (pending_event_ != 0) {
+    sim_.cancel(pending_event_);
+    pending_event_ = 0;
+  }
+  TimeNs best = kTimeInf;
+  for (const auto& [id, f] : flows_) {
+    if (f.rate <= 0.0) continue;
+    const double secs = std::max(f.remaining, 0.0) / f.rate;
+    const TimeNs t = sim_.now() + std::max<TimeNs>(sec_to_ns(secs), 1);
+    best = std::min(best, t);
+  }
+  if (best >= kTimeInf) return;
+  pending_event_ = sim_.schedule_at(best, [this] {
+    pending_event_ = 0;
+    handle_completion_event();
+  });
+}
+
+void FlowSim::handle_completion_event() {
+  advance_progress();
+  // Collect all flows that are done at this instant (symmetric collectives
+  // finish together; batching avoids N redundant rate solves).
+  std::vector<std::pair<FlowId, ActiveFlow>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining <= kCompletionEps) {
+      done.emplace_back(it->first, std::move(it->second));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  in_batch_ = true;
+  for (auto& [id, f] : done) {
+    ++completed_;
+    bytes_delivered_ += f.spec.size;
+    const TimeNs arrival = sim_.now() + f.path_delay + f.spec.extra_delay;
+    if (f.spec.on_complete) {
+      // Deliver at arrival time (propagation tail), preserving causality.
+      auto cb = f.spec.on_complete;
+      const FlowId fid = id;
+      sim_.schedule_at(arrival, [cb, fid, arrival] { cb(fid, arrival); });
+    }
+  }
+  in_batch_ = false;
+  solve_rates();
+  schedule_next_completion();
+}
+
+}  // namespace mixnet::net

@@ -1,0 +1,100 @@
+// Algorithm 1 (§5.2): greedy OCS circuit allocation.
+//
+// Given an inter-server all-to-all demand matrix and a per-server optical
+// degree alpha, repeatedly find the bottleneck pair (the pair whose transfer
+// would take longest under the circuits allocated so far) and give it one
+// more circuit, until the bottleneck pair has no free OCS NICs (paper
+// semantics) or no demand remains unserved.
+//
+// TX and RX bandwidth of an OCS link are provisioned together, so the demand
+// matrix is folded into upper-triangular form (D[i][j] += D[j][i], i<j)
+// before allocation -- exactly Step 1 of the paper's pseudocode.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace mixnet::ocs {
+
+struct ReconfigureOptions {
+  /// Algorithm 1's pseudocode breaks as soon as the *current* bottleneck
+  /// pair cannot be served (lines 12-13), which strands free OCS ports when
+  /// demand is dense (e.g. DeepSeek-class many-expert models). The default
+  /// is the work-conserving reading -- skip exhausted pairs and keep
+  /// allocating to the next-worst servable pair -- which is what a real
+  /// deployment does and what the paper's results imply. Set to false for
+  /// the strict-pseudocode ablation (bench_ablation quantifies the gap).
+  bool work_conserving = true;
+  /// Pairs whose folded demand is below this fraction of the matrix maximum
+  /// are left to the EPS fallback instead of claiming a circuit. Without a
+  /// floor, the T=infinity seeding of Algorithm 1 spends the whole port
+  /// budget covering negligible pairs on dense matrices before any hot pair
+  /// gets a second circuit -- the opposite of the paper's intent ("the pair
+  /// with the longest transfer should be allocated more circuits"). EP
+  /// matrices are sparse in practice (§3), so the floor only trims noise.
+  double demand_floor_frac = 0.05;
+  /// Bandwidth of one circuit (any unit; only ratios matter).
+  double circuit_bps = 1.0;
+  /// Hybrid-aware completion times: when > 0, a pair without circuits is
+  /// assumed to ride the EPS fallback at this rate instead of being seeded
+  /// with T = infinity. The greedy then gives hot pairs *multiple* circuits
+  /// whenever that beats covering a cold pair that the EPS serves fine --
+  /// which is the paper's stated objective ("the pair with the longest
+  /// transmission time should be allocated more circuits"). Set to 0 for
+  /// the literal pseudocode (and for TopoOpt, which has no EPS).
+  double eps_fallback_bps = 0.0;
+  /// Servers excluded from allocation (failed nodes, §5.4). Size 0 or N.
+  std::vector<bool> excluded;
+};
+
+/// One physical circuit: region-local servers and the NIC index used on each
+/// side. NIC indices are OCS-side indices in [0, alpha).
+struct CircuitAssignment {
+  int server_a = 0;
+  int server_b = 0;
+  int nic_a = 0;
+  int nic_b = 0;
+};
+
+struct OcsTopology {
+  /// Symmetric circuit-count matrix (N x N).
+  Matrix counts;
+  /// Per-circuit NIC mapping after NUMA-aware permutation (Step 4).
+  std::vector<CircuitAssignment> nics;
+  /// Completion-time bound of the allocation: max over pairs of
+  /// demand / (count * per-circuit bandwidth proxy of 1).
+  double bottleneck_time = 0.0;
+  int total_circuits = 0;
+};
+
+/// Fold a (possibly asymmetric) demand matrix into symmetric TX+RX demand.
+Matrix symmetrize_demand(const Matrix& demand);
+
+/// Map an expert x expert demand matrix onto servers: experts are assigned
+/// round-robin-contiguously, `experts_per_gpu` per GPU, `gpus_per_server`
+/// GPUs per server (Step 1 helper, calculate_server_demand).
+Matrix server_demand_from_expert_matrix(const Matrix& expert_demand,
+                                        int experts_per_gpu, int gpus_per_server);
+
+/// Algorithm 1. `demand` is N x N inter-server bytes; `alpha` the per-server
+/// optical degree. Returns the circuit allocation plus NIC mapping.
+OcsTopology reconfigure_ocs(const Matrix& demand, int alpha,
+                            const ReconfigureOptions& opts = {});
+
+/// Step 4 helper exposed for tests: assign NIC indices for a circuit-count
+/// matrix, permuting so parallel circuits between a server pair land on
+/// different NUMA nodes (NIC i belongs to NUMA node i >= alpha/2).
+std::vector<CircuitAssignment> nic_mapping(const Matrix& counts, int alpha);
+
+/// Demand-oblivious baseline for ablations: spread circuits uniformly
+/// round-robin across all pairs (what a static expander / rotor-style
+/// schedule would average to). Row sums never exceed alpha.
+Matrix uniform_topology(std::size_t n, int alpha);
+
+/// True if every server's circuits are NUMA-balanced where possible:
+/// any pair with >= 2 parallel circuits uses both NUMA nodes on both ends
+/// (when alpha >= 2).
+bool numa_balanced(const std::vector<CircuitAssignment>& nics, int alpha);
+
+}  // namespace mixnet::ocs

@@ -1,0 +1,59 @@
+// PhaseRunner: run one communication phase to completion in isolation.
+//
+// The training simulator composes an iteration from per-phase durations
+// (DESIGN.md §6): because a region's all-to-all traffic never shares
+// bottleneck links with other regions on the evaluated fabrics (EP is
+// region-local; electrical cores are non-blocking above the leaf), each
+// phase can be simulated independently on the live fabric graph and its
+// duration reused for every micro-batch that repeats it.
+//
+// Each call spins up a fresh event simulator + flow simulator + collective
+// engine over the shared Network, runs the requested collective, and returns
+// the completion time.
+#pragma once
+
+#include <vector>
+
+#include "collective/engine.h"
+#include "common/matrix.h"
+#include "control/failures.h"
+#include "moe/placement.h"
+#include "net/routing.h"
+#include "topo/fabric.h"
+
+namespace mixnet::sim {
+
+class PhaseRunner {
+ public:
+  explicit PhaseRunner(topo::Fabric& fabric, collective::EngineConfig ecfg = {});
+
+  /// Relay rules applied to every engine instance (failure scenarios).
+  void set_relays(const std::vector<control::RelayRule>& relays) { relays_ = relays; }
+
+  /// EP all-to-all among `group_servers` with server-level `bytes`.
+  TimeNs ep_all_to_all(const std::vector<int>& group_servers, const Matrix& bytes);
+
+  /// Point-to-point transfer.
+  TimeNs send(int src_server, int dst_server, Bytes bytes);
+
+  /// Ring all-reduce among servers.
+  TimeNs all_reduce(const std::vector<int>& servers, Bytes bytes);
+
+  /// All DP gradient rings of a job running concurrently: for every server
+  /// position within a replica, a hierarchical all-reduce across replicas.
+  /// `servers_per_replica` positions; `dp` replicas; contiguous placement.
+  TimeNs dp_all_reduce(int servers_per_replica, int dp, Bytes bytes_per_gpu);
+
+  net::EcmpRouter& router() { return router_; }
+
+ private:
+  template <typename LaunchFn>
+  TimeNs run_phase(LaunchFn&& launch);
+
+  topo::Fabric& fabric_;
+  collective::EngineConfig ecfg_;
+  net::EcmpRouter router_;
+  std::vector<control::RelayRule> relays_;
+};
+
+}  // namespace mixnet::sim

@@ -1,0 +1,49 @@
+#include "sim/runtime.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mixnet::runtime {
+
+Communicator::Communicator(topo::Fabric& fabric, std::vector<int> servers,
+                           RuntimeConfig cfg)
+    : fabric_(fabric),
+      servers_(std::move(servers)),
+      cfg_(cfg),
+      runner_(fabric, cfg.engine) {
+  if (servers_.empty()) throw std::invalid_argument("empty process group");
+  const bool mixnet = fabric_.config().kind == topo::FabricKind::kMixNet ||
+                      fabric_.config().kind == topo::FabricKind::kMixNetOpticalIO;
+  if (mixnet) {
+    const int region = fabric_.region_of(servers_.front());
+    if (fabric_.region_servers(region) == servers_) {
+      controller_ = std::make_unique<control::TopologyController>(
+          fabric_, region, cfg_.controller);
+    }
+  }
+}
+
+TimeNs Communicator::all_to_all(const Matrix& bytes, TimeNs compute_window) {
+  assert(bytes.rows() == servers_.size() && bytes.cols() == servers_.size());
+  TimeNs blocked = 0;
+  if (controller_) {
+    const auto outcome = controller_->prepare(bytes, compute_window);
+    blocked = outcome.blocked;
+    if (outcome.reconfigured) ++reconfigs_;
+    blocked_ += blocked;
+  }
+  return blocked + runner_.ep_all_to_all(servers_, bytes);
+}
+
+TimeNs Communicator::all_reduce(Bytes bytes_per_member) {
+  return runner_.all_reduce(servers_, bytes_per_member);
+}
+
+TimeNs Communicator::send(int src_rank, int dst_rank, Bytes bytes) {
+  assert(src_rank >= 0 && static_cast<std::size_t>(src_rank) < servers_.size());
+  assert(dst_rank >= 0 && static_cast<std::size_t>(dst_rank) < servers_.size());
+  return runner_.send(servers_[static_cast<std::size_t>(src_rank)],
+                      servers_[static_cast<std::size_t>(dst_rank)], bytes);
+}
+
+}  // namespace mixnet::runtime

@@ -1,0 +1,251 @@
+#include "topo/fabric.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace mixnet::topo {
+
+using net::LinkId;
+using net::Network;
+using net::NodeId;
+using net::NodeKind;
+
+const char* to_string(FabricKind k) {
+  switch (k) {
+    case FabricKind::kFatTree: return "Fat-tree";
+    case FabricKind::kOverSubFatTree: return "OverSub. Fat-tree";
+    case FabricKind::kRailOptimized: return "Rail-optimized";
+    case FabricKind::kTopoOpt: return "TopoOpt";
+    case FabricKind::kMixNet: return "MixNet";
+    case FabricKind::kNvl72: return "NVL72";
+    case FabricKind::kMixNetOpticalIO: return "MixNet (optical I/O)";
+  }
+  return "?";
+}
+
+bool Fabric::has_circuits() const {
+  switch (cfg_.kind) {
+    case FabricKind::kTopoOpt:
+    case FabricKind::kMixNet:
+    case FabricKind::kMixNetOpticalIO:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Fabric::has_eps() const { return cfg_.kind != FabricKind::kTopoOpt; }
+
+int Fabric::optical_degree() const {
+  switch (cfg_.kind) {
+    case FabricKind::kTopoOpt:
+      return cfg_.nics_per_server;
+    case FabricKind::kMixNet:
+    case FabricKind::kMixNetOpticalIO:
+      return cfg_.optical_degree;
+    default:
+      return 0;
+  }
+}
+
+void Fabric::init_regions(int servers_per_region) {
+  const int n = n_servers();
+  region_of_.assign(static_cast<std::size_t>(n), 0);
+  regions_.clear();
+  for (int s = 0; s < n; ++s) {
+    const int r = s / servers_per_region;
+    if (r >= static_cast<int>(regions_.size())) regions_.emplace_back();
+    regions_[static_cast<std::size_t>(r)].push_back(s);
+    region_of_[static_cast<std::size_t>(s)] = r;
+  }
+  circuits_.assign(regions_.size(), {});
+}
+
+void Fabric::build_eps_leaf_spine(int nics_toward_eps, double oversub) {
+  // Leaf-spine with one ideal core: each rack of servers_per_rack servers
+  // shares a ToR; each server contributes `nics_toward_eps` NIC links; the
+  // ToR uplink is sized at downlink_total / oversub toward a single
+  // non-blocking core node.
+  const int n = n_servers();
+  const int spr = cfg_.servers_per_rack;
+  const int n_racks = (n + spr - 1) / spr;
+  const NodeId core = net_.add_node(NodeKind::kSwitch, "core");
+  ++n_switches_;
+  for (int r = 0; r < n_racks; ++r) {
+    const NodeId tor = net_.add_node(NodeKind::kSwitch, "tor" + std::to_string(r));
+    ++n_switches_;
+    int servers_in_rack = 0;
+    for (int s = r * spr; s < std::min(n, (r + 1) * spr); ++s) {
+      for (int nic = 0; nic < nics_toward_eps; ++nic) {
+        net_.add_duplex(servers_[static_cast<std::size_t>(s)], tor, cfg_.nic_bw(),
+                        cfg_.link_delay,
+                        "eps s" + std::to_string(s) + " nic" + std::to_string(nic));
+      }
+      ++servers_in_rack;
+    }
+    const Bps up = cfg_.nic_bw() * nics_toward_eps * servers_in_rack / oversub;
+    net_.add_duplex(tor, core, up, cfg_.link_delay, "uplink" + std::to_string(r));
+  }
+}
+
+void Fabric::build_rail_optimized() {
+  // NIC i of every server in a pod connects to rail switch i; rail switches
+  // connect to an ideal non-blocking core. Within a rail, same-rank NICs are
+  // two hops apart; cross-rail traffic goes through the core.
+  const int n = n_servers();
+  const int rails = cfg_.nics_per_server;
+  const int pod_size = std::max(cfg_.servers_per_rack * 4, 32);  // servers per pod
+  const int n_pods = (n + pod_size - 1) / pod_size;
+  const NodeId core = net_.add_node(NodeKind::kSwitch, "core");
+  ++n_switches_;
+  for (int p = 0; p < n_pods; ++p) {
+    const int lo = p * pod_size;
+    const int hi = std::min(n, (p + 1) * pod_size);
+    for (int rail = 0; rail < rails; ++rail) {
+      const NodeId sw = net_.add_node(
+          NodeKind::kSwitch, "rail" + std::to_string(p) + "." + std::to_string(rail));
+      ++n_switches_;
+      for (int s = lo; s < hi; ++s) {
+        net_.add_duplex(servers_[static_cast<std::size_t>(s)], sw, cfg_.nic_bw(),
+                        cfg_.link_delay, "rail-nic");
+      }
+      const Bps up = cfg_.nic_bw() * (hi - lo);  // 1:1 toward core
+      net_.add_duplex(sw, core, up, cfg_.link_delay, "rail-up");
+    }
+  }
+}
+
+Fabric Fabric::build(const FabricConfig& cfg) {
+  Fabric f;
+  f.cfg_ = cfg;
+  if (cfg.kind == FabricKind::kMixNet || cfg.kind == FabricKind::kMixNetOpticalIO) {
+    if (cfg.eps_nics + cfg.optical_degree != cfg.nics_per_server)
+      throw std::invalid_argument("MixNet NIC split must sum to nics_per_server");
+  }
+  f.servers_.reserve(static_cast<std::size_t>(cfg.n_servers));
+  for (int s = 0; s < cfg.n_servers; ++s)
+    f.servers_.push_back(
+        f.net_.add_node(NodeKind::kServer, "server" + std::to_string(s)));
+
+  switch (cfg.kind) {
+    case FabricKind::kFatTree:
+      f.build_eps_leaf_spine(cfg.nics_per_server, 1.0);
+      f.init_regions(cfg.n_servers);  // one logical region (unused)
+      break;
+    case FabricKind::kOverSubFatTree:
+      f.build_eps_leaf_spine(cfg.nics_per_server, cfg.oversub > 1.0 ? cfg.oversub : 3.0);
+      f.init_regions(cfg.n_servers);
+      break;
+    case FabricKind::kRailOptimized:
+      f.build_rail_optimized();
+      f.init_regions(cfg.n_servers);
+      break;
+    case FabricKind::kTopoOpt:
+      // Flat optical patch panel: no EPS at all; one cluster-wide "region"
+      // whose circuits are fixed once at job start.
+      f.init_regions(cfg.n_servers);
+      break;
+    case FabricKind::kMixNet:
+      f.build_eps_leaf_spine(cfg.eps_nics, 1.0);
+      f.init_regions(cfg.region_servers);
+      break;
+    case FabricKind::kNvl72:
+      // Scale-up domains are the "servers"; they interconnect via Ethernet.
+      f.build_eps_leaf_spine(cfg.nics_per_server, 1.0);
+      f.init_regions(cfg.n_servers);
+      break;
+    case FabricKind::kMixNetOpticalIO:
+      f.build_eps_leaf_spine(cfg.eps_nics, 1.0);
+      f.init_regions(cfg.region_servers);
+      break;
+  }
+  return f;
+}
+
+int Fabric::apply_circuits(int region, const Matrix& counts) {
+  if (!has_circuits()) throw std::logic_error("fabric has no reconfigurable circuits");
+  auto& reg = circuits_[static_cast<std::size_t>(region)];
+  const auto& members = regions_[static_cast<std::size_t>(region)];
+  const auto m = members.size();
+  assert(counts.rows() == m && counts.cols() == m);
+  const int degree = optical_degree();
+  for (std::size_t i = 0; i < m; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < m; ++j) row += counts(i, j);
+    if (row > degree + 1e-9)
+      throw std::invalid_argument("circuit allocation exceeds optical degree");
+  }
+
+  int touched = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const int want = static_cast<int>(std::lround(counts(i, j)));
+      assert(std::abs(counts(i, j) - counts(j, i)) < 1e-9 && "counts must be symmetric");
+      const auto key = std::make_pair(static_cast<int>(i), static_cast<int>(j));
+      auto it = reg.find(key);
+      if (want == 0) {
+        if (it != reg.end() && it->second.count != 0) {
+          net_.set_up(it->second.fwd, false);
+          net_.set_up(it->second.rev, false);
+          it->second.count = 0;
+          ++touched;
+        }
+        continue;
+      }
+      const Bps cap = cfg_.ocs_bw() * want;
+      if (it == reg.end()) {
+        const NodeId a = servers_[static_cast<std::size_t>(members[i])];
+        const NodeId b = servers_[static_cast<std::size_t>(members[j])];
+        auto [fwd, rev] = net_.add_duplex(a, b, cap, cfg_.link_delay, "circuit");
+        reg.emplace(key, CircuitPair{fwd, rev, want});
+        ++touched;
+      } else if (it->second.count != want) {
+        net_.set_capacity(it->second.fwd, cap);
+        net_.set_capacity(it->second.rev, cap);
+        net_.set_up(it->second.fwd, true);
+        net_.set_up(it->second.rev, true);
+        it->second.count = want;
+        ++touched;
+      } else if (!net_.is_up(it->second.fwd)) {
+        net_.set_up(it->second.fwd, true);
+        net_.set_up(it->second.rev, true);
+        ++touched;
+      }
+    }
+  }
+  return touched;
+}
+
+void Fabric::set_region_circuits_up(int region, bool up) {
+  for (auto& [key, pair] : circuits_[static_cast<std::size_t>(region)]) {
+    if (pair.count <= 0) continue;
+    net_.set_up(pair.fwd, up);
+    net_.set_up(pair.rev, up);
+  }
+}
+
+net::LinkId Fabric::circuit_link(int region, int i, int j) const {
+  if (i == j) return net::kInvalidLink;
+  const auto key = std::make_pair(std::min(i, j), std::max(i, j));
+  const auto& reg = circuits_[static_cast<std::size_t>(region)];
+  auto it = reg.find(key);
+  if (it == reg.end() || it->second.count <= 0) return net::kInvalidLink;
+  if (!net_.is_up(it->second.fwd)) return net::kInvalidLink;
+  return i < j ? it->second.fwd : it->second.rev;
+}
+
+Matrix Fabric::circuit_counts(int region) const {
+  const auto m = regions_[static_cast<std::size_t>(region)].size();
+  Matrix out(m, m, 0.0);
+  for (const auto& [key, pair] : circuits_[static_cast<std::size_t>(region)]) {
+    if (pair.count <= 0 || !net_.is_up(pair.fwd)) continue;
+    out(static_cast<std::size_t>(key.first), static_cast<std::size_t>(key.second)) =
+        pair.count;
+    out(static_cast<std::size_t>(key.second), static_cast<std::size_t>(key.first)) =
+        pair.count;
+  }
+  return out;
+}
+
+}  // namespace mixnet::topo

@@ -1,0 +1,151 @@
+// Fabric builders for every interconnect evaluated in the paper (§7.1):
+//
+//   * Fat-tree (1:1 non-blocking)          -- baseline EPS
+//   * Over-subscribed fat-tree (3:1)       -- cheap EPS
+//   * Rail-optimized                       -- Nvidia-recommended EPS layout
+//   * TopoOpt                              -- one-shot flat optical fabric
+//   * MixNet                               -- 2 EPS NICs (fat-tree) + alpha OCS
+//                                             NICs per server, regional OCS
+//   * NVL72 / MixNet w/ optical I/O (§8)   -- high-radix scale-up domains
+//
+// The network graph is modeled at server granularity: each server node has
+// one link per NIC toward the electrical fabric and/or dynamically managed
+// point-to-point circuit links toward regional OCS peers. Intra-server
+// (NVSwitch) transfers are handled analytically by the collective runtime
+// using `nvlink_gbps_per_gpu` (they never contend with scale-out links).
+//
+// Electrical cores are modeled as ideal non-blocking crossbars (a single
+// core node with appropriately sized uplinks), which matches how the paper
+// treats fat-tree/rail baselines; ECMP collisions can still occur on the
+// per-NIC server uplinks, which is where they matter for MoE traffic.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "net/network.h"
+
+namespace mixnet::topo {
+
+enum class FabricKind {
+  kFatTree,
+  kOverSubFatTree,
+  kRailOptimized,
+  kTopoOpt,
+  kMixNet,
+  kNvl72,
+  kMixNetOpticalIO,
+};
+
+const char* to_string(FabricKind k);
+
+struct FabricConfig {
+  FabricKind kind = FabricKind::kFatTree;
+  int n_servers = 8;
+  int gpus_per_server = 8;
+  int nics_per_server = 8;
+  double nic_gbps = 400.0;
+  double oversub = 1.0;  ///< fat-tree over-subscription ratio (3.0 for §7.1)
+  /// MixNet split: eps_nics + optical_degree == nics_per_server.
+  int eps_nics = 2;
+  int optical_degree = 6;  ///< alpha in Algorithm 1
+  /// Servers per regionally reconfigurable OCS domain (one EP group).
+  int region_servers = 8;
+  /// Per-GPU scale-up bandwidth (NVSwitch/NVLink), Gbps. A100 ~ 4800,
+  /// NVL72 ~ 7200 (900 GB/s).
+  double nvlink_gbps_per_gpu = 4800.0;
+  /// OCS-side port rate, Gbps. 0 means "same as nic_gbps"; the co-packaged
+  /// optical I/O fabric of §8 sets this to the per-GPU optical bandwidth.
+  double ocs_nic_gbps = 0.0;
+  mixnet::TimeNs link_delay = mixnet::us_to_ns(1);
+  /// Servers per ToR. Small by default so EP groups span ToRs and leaf
+  /// over-subscription actually bites cross-rack all-to-all (as in the
+  /// paper's rail-style deployments, where a group never sits behind one
+  /// switch).
+  int servers_per_rack = 2;
+
+  int n_gpus() const { return n_servers * gpus_per_server; }
+  mixnet::Bps nic_bw() const { return mixnet::gbps(nic_gbps); }
+  mixnet::Bps nvlink_bw() const { return mixnet::gbps(nvlink_gbps_per_gpu); }
+  mixnet::Bps ocs_bw() const {
+    return mixnet::gbps(ocs_nic_gbps > 0.0 ? ocs_nic_gbps : nic_gbps);
+  }
+};
+
+/// A built interconnect: the graph plus enough structure for the OCS
+/// controller and collective runtime to reason about it.
+class Fabric {
+ public:
+  static Fabric build(const FabricConfig& cfg);
+
+  const FabricConfig& config() const { return cfg_; }
+  net::Network& network() { return net_; }
+  const net::Network& network() const { return net_; }
+
+  net::NodeId server_node(int server_idx) const {
+    return servers_[static_cast<std::size_t>(server_idx)];
+  }
+  int n_servers() const { return static_cast<int>(servers_.size()); }
+
+  /// True if this fabric has reconfigurable circuits (MixNet/TopoOpt/OpticalIO).
+  bool has_circuits() const;
+
+  /// True if servers also connect to a packet-switched fabric.
+  bool has_eps() const;
+
+  int n_regions() const { return static_cast<int>(regions_.size()); }
+  const std::vector<int>& region_servers(int region) const {
+    return regions_[static_cast<std::size_t>(region)];
+  }
+  int region_of(int server_idx) const {
+    return region_of_[static_cast<std::size_t>(server_idx)];
+  }
+
+  /// Per-server number of NICs attached to the OCS (0 for pure EPS fabrics).
+  int optical_degree() const;
+
+  /// Install a circuit allocation for one region. `counts` is symmetric,
+  /// indexed by position within the region's server list; entry (i,j) is the
+  /// number of NIC-to-NIC circuits between those servers. Existing circuits
+  /// not present in `counts` are torn down. Row sums must not exceed the
+  /// optical degree. Returns the number of link objects touched.
+  int apply_circuits(int region, const Matrix& counts);
+
+  /// Bring every circuit of a region down/up (OCS dark during reconfig).
+  void set_region_circuits_up(int region, bool up);
+
+  /// Aggregated circuit link from region-local server i to j (direction i->j),
+  /// or kInvalidLink when no circuit exists.
+  net::LinkId circuit_link(int region, int i, int j) const;
+
+  /// Current circuit count matrix for a region (copy).
+  Matrix circuit_counts(int region) const;
+
+  /// Number of electrical switch nodes (for structural tests).
+  int n_switch_nodes() const { return n_switches_; }
+
+ private:
+  void build_eps_leaf_spine(int nics_toward_eps, double oversub);
+  void build_rail_optimized();
+  void init_regions(int servers_per_region);
+
+  FabricConfig cfg_;
+  net::Network net_;
+  std::vector<net::NodeId> servers_;
+  std::vector<std::vector<int>> regions_;  // region -> server indices
+  std::vector<int> region_of_;             // server index -> region
+  int n_switches_ = 0;
+
+  struct CircuitPair {
+    net::LinkId fwd = net::kInvalidLink;
+    net::LinkId rev = net::kInvalidLink;
+    int count = 0;
+  };
+  // region -> map (local i, local j), i < j -> aggregated duplex circuit.
+  std::vector<std::map<std::pair<int, int>, CircuitPair>> circuits_;
+};
+
+}  // namespace mixnet::topo

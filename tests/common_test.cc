@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace mixnet {
+namespace {
+
+// ---------------------------------------------------------------- units ----
+
+TEST(Units, GbpsConversionRoundTrips) {
+  EXPECT_DOUBLE_EQ(to_gbps(gbps(100.0)), 100.0);
+  EXPECT_DOUBLE_EQ(to_gbps(gbps(400.0)), 400.0);
+  EXPECT_DOUBLE_EQ(gbps(8.0), 1e9);  // 8 Gbps == 1 GB/s
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_EQ(ms_to_ns(25.0), 25'000'000);
+  EXPECT_EQ(us_to_ns(1.0), 1'000);
+  EXPECT_EQ(sec_to_ns(1.0), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(ns_to_ms(ms_to_ns(41.5)), 41.5);
+}
+
+TEST(Units, TransmissionTimeBasics) {
+  // 1 MB at 1 GB/s => 1 ms (binary MiB => slightly more).
+  EXPECT_NEAR(static_cast<double>(transmission_time(1e6, 1e9)), 1e6, 1.0);
+  EXPECT_EQ(transmission_time(100.0, 0.0), kTimeInf);
+  EXPECT_GE(transmission_time(1e-9, 1e12), 1);  // never zero
+}
+
+TEST(Units, TransmissionTimeMonotoneInSize) {
+  const Bps rate = gbps(100.0);
+  TimeNs prev = 0;
+  for (double b = 1e3; b <= 1e9; b *= 10) {
+    const TimeNs t = transmission_time(b, rate);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+// ------------------------------------------------------------------ rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounded) {
+  Rng r(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[r.uniform_int(10)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = r.normal(3.0, 2.0);
+  EXPECT_NEAR(mean(xs), 3.0, 0.05);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.05);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng r(13);
+  for (double alpha : {0.1, 0.5, 1.0, 5.0}) {
+    auto v = r.dirichlet(16, alpha);
+    double s = 0.0;
+    for (double x : v) {
+      EXPECT_GE(x, 0.0);
+      s += x;
+    }
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, DirichletSparsityIncreasesAsAlphaDrops) {
+  Rng r(17);
+  auto peakiness = [&](double alpha) {
+    double acc = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      auto v = r.dirichlet(8, alpha);
+      acc += *std::max_element(v.begin(), v.end());
+    }
+    return acc / 200.0;
+  };
+  EXPECT_GT(peakiness(0.1), peakiness(5.0));
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng r(19);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[r.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(23);
+  std::vector<double> xs(40000);
+  for (auto& x : xs) x = r.exponential(2.0);
+  EXPECT_NEAR(mean(xs), 0.5, 0.02);
+}
+
+TEST(Rng, GammaMeanMatchesShape) {
+  Rng r(29);
+  for (double k : {0.5, 1.0, 4.0}) {
+    std::vector<double> xs(30000);
+    for (auto& x : xs) x = r.gamma(k);
+    EXPECT_NEAR(mean(xs), k, 0.1 * std::max(k, 1.0));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.fork();
+  // The child must not replay the parent's sequence.
+  Rng b(31);
+  (void)b.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (child() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+// --------------------------------------------------------------- matrix ----
+
+TEST(Matrix, BasicAccessAndSum) {
+  Matrix m(2, 3, 1.0);
+  m(1, 2) = 4.0;
+  EXPECT_DOUBLE_EQ(m.sum(), 5.0 + 4.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(1), 1.0 + 1.0 + 4.0);
+  EXPECT_DOUBLE_EQ(m.col_sum(2), 1.0 + 4.0);
+  EXPECT_DOUBLE_EQ(m.max(), 4.0);
+}
+
+TEST(Matrix, IdentityMul) {
+  Matrix id = Matrix::identity(4);
+  std::vector<double> x = {1, 2, 3, 4};
+  EXPECT_EQ(id.mul(x), x);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Matrix m(3, 2);
+  m(0, 1) = 5.0;
+  m(2, 0) = -1.0;
+  EXPECT_TRUE(m.transposed().transposed() == m);
+  EXPECT_DOUBLE_EQ(m.transposed()(1, 0), 5.0);
+}
+
+// ---------------------------------------------------------------- stats ----
+
+TEST(Stats, MeanVariance) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 50);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 30);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 20);
+}
+
+TEST(Stats, JainFairness) {
+  EXPECT_DOUBLE_EQ(jain_fairness({1, 1, 1, 1}), 1.0);
+  EXPECT_NEAR(jain_fairness({1, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(Stats, EmpiricalCdfMonotone) {
+  std::vector<double> xs;
+  Rng r(37);
+  for (int i = 0; i < 1000; ++i) xs.push_back(r.uniform());
+  auto cdf = empirical_cdf(xs, 21);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LE(cdf[i - 1].probability, cdf[i].probability);
+  }
+}
+
+TEST(Stats, CoeffOfVariationZeroForConstant) {
+  EXPECT_DOUBLE_EQ(coeff_of_variation({5, 5, 5}), 0.0);
+  EXPECT_GT(coeff_of_variation({1, 9}), 0.5);
+}
+
+}  // namespace
+}  // namespace mixnet

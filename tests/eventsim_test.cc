@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eventsim/simulator.h"
+
+namespace mixnet::eventsim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(100, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  TimeNs seen = -1;
+  sim.schedule_at(50, [&] {
+    sim.schedule_after(25, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 75);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // already cancelled
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelInvalidIdFails) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(0));
+  EXPECT_FALSE(sim.cancel(999));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<TimeNs> fired;
+  for (TimeNs t : {10, 20, 30, 40})
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  EXPECT_EQ(sim.run_until(25), 2u);
+  EXPECT_EQ(sim.now(), 25);
+  EXPECT_EQ(fired, (std::vector<TimeNs>{10, 20}));
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_after(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 9);
+}
+
+TEST(Simulator, PendingCountTracksLiveEvents) {
+  Simulator sim;
+  EXPECT_TRUE(sim.empty());
+  EventId a = sim.schedule_at(1, [] {});
+  sim.schedule_at(2, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, StepProcessesExactlyOne) {
+  Simulator sim;
+  int n = 0;
+  sim.schedule_at(1, [&] { ++n; });
+  sim.schedule_at(2, [&] { ++n; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(n, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ManyEventsStress) {
+  Simulator sim;
+  std::size_t count = 0;
+  for (int i = 0; i < 10000; ++i)
+    sim.schedule_at((i * 7919) % 100000, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 10000u);
+}
+
+}  // namespace
+}  // namespace mixnet::eventsim

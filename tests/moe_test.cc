@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "moe/gate.h"
+#include "moe/models.h"
+#include "moe/placement.h"
+#include "moe/traffic.h"
+
+namespace mixnet::moe {
+namespace {
+
+// ---------------------------------------------------------------- models ----
+
+TEST(Models, ZooMatchesTable1) {
+  const auto mixtral = mixtral_8x7b();
+  EXPECT_EQ(mixtral.n_blocks, 32);
+  EXPECT_EQ(mixtral.n_experts, 8);
+  const auto p = default_parallelism(mixtral);
+  EXPECT_EQ(p.ep, 8);
+  EXPECT_EQ(p.tp, 4);
+  EXPECT_EQ(p.pp, 4);
+
+  const auto llama = llama_moe();
+  EXPECT_EQ(llama.n_experts, 16);
+  EXPECT_EQ(default_parallelism(llama).ep, 16);
+  EXPECT_EQ(default_parallelism(llama).tp, 1);
+
+  const auto qwen = qwen_moe();
+  EXPECT_EQ(qwen.n_blocks, 24);
+  EXPECT_EQ(qwen.n_experts, 64);
+
+  const auto ds = deepseek_r1();
+  EXPECT_EQ(ds.n_experts, 256);
+  EXPECT_EQ(default_parallelism(ds).ep, 64);
+  EXPECT_EQ(default_parallelism(ds).pp, 16);
+}
+
+TEST(Models, LookupByName) {
+  EXPECT_EQ(model_by_name("Qwen-MoE").n_experts, 64);
+  EXPECT_EQ(model_by_name("nonsense").name, "Mixtral 8x7B");
+}
+
+TEST(Models, SimulationModelsInPaperOrder) {
+  const auto ms = simulation_models();
+  ASSERT_EQ(ms.size(), 4u);
+  EXPECT_EQ(ms[0].name, "Mixtral 8x22B");
+  EXPECT_EQ(ms[3].name, "DeepSeek-R1");
+}
+
+// ------------------------------------------------------------- placement ----
+
+TEST(Placement, RoundTripCoordinates) {
+  ParallelismSpec p;
+  p.ep = 8;
+  p.tp = 4;
+  p.pp = 4;
+  p.dp = 2;
+  Placement pl(p, 8);
+  EXPECT_EQ(pl.total_gpus(), 256);
+  EXPECT_EQ(pl.total_servers(), 32);
+  for (int g = 0; g < pl.total_gpus(); g += 17) {
+    const GpuCoord c = pl.coord_of(g);
+    EXPECT_EQ(pl.gpu_of(c), g);
+  }
+}
+
+TEST(Placement, TpInnermostSharesServer) {
+  ParallelismSpec p;
+  p.ep = 8;
+  p.tp = 4;
+  p.pp = 4;
+  Placement pl(p, 8);
+  // A TP group (4 GPUs) must fit within one server (8 GPUs).
+  for (int ep = 0; ep < 8; ++ep) {
+    const int s0 = pl.server_of_gpu(pl.gpu_of({0, 0, ep, 0}));
+    for (int tp = 1; tp < 4; ++tp)
+      EXPECT_EQ(pl.server_of_gpu(pl.gpu_of({0, 0, ep, tp})), s0);
+  }
+}
+
+TEST(Placement, EpGroupServersContiguous) {
+  ParallelismSpec p;
+  p.ep = 8;
+  p.tp = 4;
+  p.pp = 4;
+  Placement pl(p, 8);
+  const auto servers = pl.ep_group_servers(0, 0);
+  EXPECT_EQ(servers, (std::vector<int>{0, 1, 2, 3}));
+  const auto next = pl.ep_group_servers(0, 1);
+  EXPECT_EQ(next, (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_EQ(pl.region_servers(), 4);
+}
+
+TEST(Placement, RankToLocalServerMapsPairsOfRanks) {
+  ParallelismSpec p;
+  p.ep = 8;
+  p.tp = 4;
+  p.pp = 1;
+  Placement pl(p, 8);
+  // EP rank spans tp=4 GPUs; 2 ranks per 8-GPU server.
+  const auto map = pl.ep_rank_to_local_server(0, 0);
+  EXPECT_EQ(map, (std::vector<int>{0, 0, 1, 1, 2, 2, 3, 3}));
+}
+
+TEST(Placement, DeepSeekRegionIs8Servers) {
+  Placement pl(default_parallelism(deepseek_r1()), 8);
+  EXPECT_EQ(pl.region_servers(), 8);  // EP64 x TP1 = 64 GPUs
+}
+
+// ---------------------------------------------------------------- gate ----
+
+GateConfig small_gate() {
+  GateConfig g;
+  g.n_experts = 8;
+  g.n_layers = 4;
+  g.ep_ranks = 8;
+  g.tokens_per_rank = 4096;
+  g.seed = 99;
+  return g;
+}
+
+TEST(Gate, LoadsNormalized) {
+  GateSimulator gs(small_gate());
+  for (int l = 0; l < 4; ++l) {
+    const auto& load = gs.expert_load(l);
+    double s = 0.0;
+    for (double v : load) {
+      EXPECT_GE(v, 0.0);
+      s += v;
+    }
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+}
+
+TEST(Gate, CountsPreserveTokensPerRank) {
+  GateSimulator gs(small_gate());
+  const Matrix& c = gs.dispatch_counts(0);
+  for (std::size_t h = 0; h < c.rows(); ++h) EXPECT_NEAR(c.row_sum(h), 4096.0, 1.0);
+}
+
+TEST(Gate, TransitionsColumnStochastic) {
+  GateSimulator gs(small_gate());
+  for (int l = 1; l < 4; ++l) {
+    const Matrix& m = gs.transition(l);
+    for (std::size_t c = 0; c < m.cols(); ++c) EXPECT_NEAR(m.col_sum(c), 1.0, 1e-9);
+  }
+}
+
+TEST(Gate, TemporalVariability) {
+  GateSimulator gs(small_gate());
+  // Expert-0 load over iterations must actually vary (Fig. 4a).
+  std::vector<double> series;
+  for (int i = 0; i < 50; ++i) {
+    gs.step();
+    series.push_back(gs.expert_load(1)[0]);
+  }
+  EXPECT_GT(stddev(series), 1e-4);
+}
+
+TEST(Gate, LoadBalancingReducesVariabilityOverTraining) {
+  GateConfig g = small_gate();
+  g.lb_timescale = 200.0;
+  GateSimulator gs(g);
+  auto imbalance = [&] {
+    // max/mean over experts at layer 0.
+    const auto& load = gs.expert_load(0);
+    const double mx = *std::max_element(load.begin(), load.end());
+    return mx * load.size();
+  };
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    gs.step();
+    early += imbalance();
+  }
+  for (int i = 0; i < 2000; ++i) gs.step();
+  for (int i = 0; i < 30; ++i) {
+    gs.step();
+    late += imbalance();
+  }
+  EXPECT_LT(late, early);
+  EXPECT_GT(gs.lb_mix(), 0.4 * g.lb_final);
+}
+
+TEST(Gate, DispatchMatrixConservesBytes) {
+  GateSimulator gs(small_gate());
+  const double bps = 8192.0;  // bytes per slot
+  const Matrix t = gs.rank_dispatch_matrix(1, bps);
+  EXPECT_NEAR(t.sum(), 8 * 4096.0 * bps, 8 * 4096.0 * bps * 1e-6);
+}
+
+TEST(Gate, SpatialNonUniformity) {
+  GateConfig g = small_gate();
+  g.dirichlet_alpha = 0.15;
+  GateSimulator gs(g);
+  gs.step();
+  const Matrix t = gs.rank_dispatch_matrix(1, 1.0);
+  // Off-diagonal entries should span a wide range (hot pairs, Fig. 4b).
+  double mx = 0.0, mn = 1e30;
+  for (std::size_t i = 0; i < t.rows(); ++i)
+    for (std::size_t j = 0; j < t.cols(); ++j) {
+      mx = std::max(mx, t(i, j));
+      mn = std::min(mn, t(i, j));
+    }
+  EXPECT_GT(mx, 3.0 * std::max(mn, 1e-9));
+}
+
+TEST(Gate, SkipMatchesSteppedStochasticState) {
+  // skip(n) must land on the same iteration count and produce valid,
+  // normalized distributions (it fast-forwards the same RNG-driven state).
+  GateConfig g = small_gate();
+  GateSimulator a(g);
+  a.skip(25);
+  EXPECT_EQ(a.iteration(), 25);
+  for (int l = 0; l < g.n_layers; ++l) {
+    double s = 0.0;
+    for (double v : a.expert_load(l)) s += v;
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+  // Preferences drift: loads after skip differ from a fresh simulator.
+  GateSimulator fresh(g);
+  fresh.step();
+  double diff = 0.0;
+  for (std::size_t e = 0; e < a.expert_load(1).size(); ++e)
+    diff += std::abs(a.expert_load(1)[e] - fresh.expert_load(1)[e]);
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Gate, PreferenceDriftMovesHotPairs) {
+  // The hot entries of the dispatch matrix must wander over ~100 iterations
+  // (this is what defeats one-shot topologies).
+  GateConfig g = small_gate();
+  GateSimulator gs(g);
+  gs.step();
+  const Matrix early = gs.rank_dispatch_matrix(1, 1.0);
+  gs.skip(150);
+  const Matrix late = gs.rank_dispatch_matrix(1, 1.0);
+  double num = 0.0, den_a = 0.0, den_b = 0.0;
+  for (std::size_t i = 0; i < early.rows(); ++i)
+    for (std::size_t j = 0; j < early.cols(); ++j) {
+      if (i == j) continue;
+      num += early(i, j) * late(i, j);
+      den_a += early(i, j) * early(i, j);
+      den_b += late(i, j) * late(i, j);
+    }
+  const double cosine = num / std::sqrt(den_a * den_b);
+  EXPECT_LT(cosine, 0.95);  // decorrelated, not identical
+  EXPECT_GT(cosine, 0.2);   // but still structured traffic
+}
+
+TEST(Gate, DeterministicAcrossRuns) {
+  GateSimulator a(small_gate()), b(small_gate());
+  a.step();
+  b.step();
+  EXPECT_EQ(a.dispatch_counts(2).data(), b.dispatch_counts(2).data());
+}
+
+TEST(Gate, ExpertsPerRankAggregation) {
+  GateConfig g = small_gate();
+  g.n_experts = 16;  // 2 experts per rank
+  GateSimulator gs(g);
+  const Matrix t = gs.rank_dispatch_matrix(0, 1.0);
+  EXPECT_EQ(t.rows(), 8u);
+  EXPECT_NEAR(t.sum(), 8 * 4096.0, 50.0);
+}
+
+// --------------------------------------------------------------- traffic ----
+
+TEST(Traffic, Fig2SharesMixtral) {
+  const auto m = mixtral_8x7b();
+  const auto p = default_parallelism(m);
+  const auto v = iteration_traffic(m, p);
+  // Mixtral 8x7B: TP dominates (~60%), EP second (~30%), PP+DP small (Fig. 2).
+  EXPECT_GT(v.tp / v.total(), 0.45);
+  EXPECT_GT(v.ep / v.total(), 0.15);
+  EXPECT_LT((v.pp + v.dp) / v.total(), 0.15);
+}
+
+TEST(Traffic, Fig2SharesLlamaAndQwen) {
+  for (const auto& m : {llama_moe(), qwen_moe()}) {
+    const auto p = default_parallelism(m);
+    const auto v = iteration_traffic(m, p);
+    EXPECT_DOUBLE_EQ(v.tp, 0.0) << m.name;  // TP degree 1
+    EXPECT_GT(v.ep / v.total(), 0.8) << m.name;  // EP dominates (Fig. 2)
+  }
+}
+
+TEST(Traffic, EpBytesScaleWithTopK) {
+  auto m = mixtral_8x7b();
+  const auto p = default_parallelism(m);
+  const double b2 = ep_all_to_all_bytes(m, p);
+  m.top_k = 4;
+  EXPECT_NEAR(ep_all_to_all_bytes(m, p) / b2, 2.0, 1e-9);
+}
+
+TEST(Traffic, AggregateToServersPreservesSumAndDiagonal) {
+  Matrix rank(4, 4, 1.0);
+  const std::vector<int> map = {0, 0, 1, 1};
+  const Matrix s = aggregate_to_servers(rank, map, 2);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_NEAR(s.sum(), rank.sum(), 1e-9);
+  EXPECT_DOUBLE_EQ(s(0, 0), 4.0);  // intra-server traffic on the diagonal
+  EXPECT_DOUBLE_EQ(s(0, 1), 4.0);
+}
+
+TEST(Traffic, SparsityMetric) {
+  Matrix m(3, 3, 0.0);
+  m(0, 1) = 100.0;
+  m(1, 2) = 1.0;
+  // 5 of 6 off-diagonal entries below 10% of max.
+  EXPECT_NEAR(matrix_sparsity(m, 0.1), 5.0 / 6.0, 1e-9);
+}
+
+TEST(Traffic, BlockLocalityMetric) {
+  Matrix m(4, 4, 0.0);
+  m(0, 1) = 10.0;  // within block [0,1]
+  m(2, 3) = 10.0;  // within block [2,3]
+  EXPECT_DOUBLE_EQ(block_locality(m, 2), 1.0);
+  m(0, 3) = 20.0;
+  EXPECT_DOUBLE_EQ(block_locality(m, 2), 0.5);
+}
+
+TEST(Traffic, GpuMatrixShowsEpLocality) {
+  const auto m = mixtral_8x7b();
+  auto p = default_parallelism(m);
+  p.dp = 1;
+  Placement pl(p, 8);
+  GateConfig g;
+  g.n_experts = m.n_experts;
+  g.n_layers = 4;
+  g.ep_ranks = p.ep;
+  g.tokens_per_rank = 1024;
+  GateSimulator gs(g);
+  std::vector<Matrix> mats;
+  for (int l = 0; l < 4; ++l) mats.push_back(gs.rank_dispatch_matrix(l, 8192.0));
+  const Matrix gpu = gpu_traffic_matrix(m, p, pl, mats);
+  EXPECT_EQ(gpu.rows(), 128u);
+  // EP+TP traffic stays within 32-GPU blocks; PP crosses. Strong locality.
+  EXPECT_GT(block_locality(gpu, 32), 0.8);
+}
+
+}  // namespace
+}  // namespace mixnet::moe

@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "moe/traffic.h"
+#include "sim/phase_runner.h"
+#include "sim/runtime.h"
+#include "sim/training_sim.h"
+
+namespace mixnet::sim {
+namespace {
+
+TrainingConfig base(topo::FabricKind kind, double gbps_ = 400.0) {
+  TrainingConfig c;
+  c.model = moe::mixtral_8x7b();
+  c.fabric_kind = kind;
+  c.nic_gbps = gbps_;
+  c.par = moe::default_parallelism(c.model);
+  c.par.n_microbatches = 4;
+  c.par_overridden = true;
+  return c;
+}
+
+// ----------------------------------------------------------- phase runner ----
+
+TEST(PhaseRunner, SendDurationScalesWithBytes) {
+  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 4});
+  PhaseRunner pr(fabric);
+  const TimeNs t1 = pr.send(0, 1, mib(10));
+  const TimeNs t2 = pr.send(0, 1, mib(40));
+  EXPECT_GT(t2, 3 * t1 / 2);
+  EXPECT_LT(static_cast<double>(t2), 4.6 * static_cast<double>(t1));
+}
+
+TEST(PhaseRunner, DpAllReduceConcurrentRings) {
+  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 8});
+  PhaseRunner pr(fabric);
+  // 2 replicas of 4 servers each.
+  const TimeNs t = pr.dp_all_reduce(4, 2, mib(64));
+  EXPECT_GT(t, 0);
+  EXPECT_EQ(pr.dp_all_reduce(4, 1, mib(64)), 0);  // dp=1 is free
+}
+
+// ------------------------------------------------------ runtime facade ----
+
+TEST(Runtime, AllReduceAndSendReturnElapsedTime) {
+  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 4});
+  runtime::Communicator comm(fabric, {0, 1, 2, 3});
+  EXPECT_EQ(comm.size(), 4);
+  const TimeNs ar = comm.all_reduce(mib(32));
+  EXPECT_GT(ar, 0);
+  const TimeNs p2p = comm.send(0, 2, mib(16));
+  EXPECT_GT(p2p, 0);
+  EXPECT_EQ(comm.reconfigurations(), 0);  // no OCS on a fat-tree
+}
+
+TEST(Runtime, AllToAllReconfiguresMixNetRegion) {
+  topo::FabricConfig fc;
+  fc.kind = topo::FabricKind::kMixNet;
+  fc.n_servers = 4;
+  fc.region_servers = 4;
+  fc.nic_gbps = 100.0;
+  auto fabric = topo::Fabric::build(fc);
+  runtime::Communicator comm(fabric, {0, 1, 2, 3});
+  Matrix bytes(4, 4, 0.0);
+  bytes(0, 1) = mib(200);
+  bytes(1, 0) = mib(200);
+  const TimeNs t1 = comm.all_to_all(bytes, ms_to_ns(100));
+  EXPECT_GT(t1, 0);
+  EXPECT_EQ(comm.reconfigurations(), 1);
+  EXPECT_EQ(comm.reconfig_blocked(), 0);  // hidden under the 100 ms window
+  EXPECT_GT(fabric.circuit_counts(0)(0, 1), 0.0);
+  // Same demand again: topology reused, no new reconfiguration.
+  comm.all_to_all(bytes, ms_to_ns(100));
+  EXPECT_EQ(comm.reconfigurations(), 1);
+}
+
+TEST(Runtime, BlockedTimeChargedWhenWindowTooSmall) {
+  topo::FabricConfig fc;
+  fc.kind = topo::FabricKind::kMixNet;
+  fc.n_servers = 4;
+  fc.region_servers = 4;
+  fc.nic_gbps = 100.0;
+  auto fabric = topo::Fabric::build(fc);
+  runtime::RuntimeConfig rc;
+  rc.controller.reconfig_delay = ms_to_ns(25);
+  runtime::Communicator comm(fabric, {0, 1, 2, 3}, rc);
+  Matrix bytes(4, 4, 0.0);
+  bytes(2, 3) = mib(500);
+  bytes(3, 2) = mib(500);
+  comm.all_to_all(bytes, ms_to_ns(5));  // only 5 ms of compute to hide under
+  EXPECT_EQ(comm.reconfig_blocked(), ms_to_ns(20));
+}
+
+TEST(Runtime, RejectsEmptyGroup) {
+  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 4});
+  EXPECT_THROW(runtime::Communicator(fabric, {}), std::invalid_argument);
+}
+
+// --------------------------------------------------------- training sim ----
+
+TEST(TrainingSim, IterationCompletesOnAllFabrics) {
+  for (auto kind : {topo::FabricKind::kFatTree, topo::FabricKind::kOverSubFatTree,
+                    topo::FabricKind::kRailOptimized, topo::FabricKind::kTopoOpt,
+                    topo::FabricKind::kMixNet}) {
+    TrainingSimulator sim(base(kind));
+    const auto r = sim.run_iteration();
+    EXPECT_GT(r.total, 0) << topo::to_string(kind);
+    EXPECT_GT(r.tokens, 0) << topo::to_string(kind);
+    EXPECT_GT(r.tokens_per_sec(), 0) << topo::to_string(kind);
+  }
+}
+
+TEST(TrainingSim, MixNetComparableToFatTree) {
+  // Fig. 12: MixNet within a modest factor of the non-blocking fat-tree.
+  TrainingSimulator ft(base(topo::FabricKind::kFatTree));
+  TrainingSimulator mx(base(topo::FabricKind::kMixNet));
+  const auto rf = ft.run_iteration();
+  const auto rm = mx.run_iteration();
+  EXPECT_LT(static_cast<double>(rm.total), 1.35 * static_cast<double>(rf.total));
+}
+
+TEST(TrainingSim, OverSubSlowerThanFatTreeAtLowBandwidth) {
+  TrainingSimulator ft(base(topo::FabricKind::kFatTree, 100.0));
+  TrainingSimulator os(base(topo::FabricKind::kOverSubFatTree, 100.0));
+  EXPECT_GE(os.run_iteration().total, ft.run_iteration().total);
+}
+
+TEST(TrainingSim, ReconfigHiddenAtDefaultDelay) {
+  // 25 ms fits inside the attention+gate window for Mixtral 8x7B (Fig. 3).
+  auto cfg = base(topo::FabricKind::kMixNet);
+  TrainingSimulator sim(cfg);
+  const auto r = sim.run_iteration();
+  EXPECT_EQ(r.reconfig_blocked, 0);
+  EXPECT_GT(r.reconfigurations, 0);
+}
+
+TEST(TrainingSim, HugeReconfigDelayDegrades) {
+  // Fig. 28: performance degrades once the delay exceeds the compute window.
+  auto fast_cfg = base(topo::FabricKind::kMixNet);
+  auto slow_cfg = base(topo::FabricKind::kMixNet);
+  slow_cfg.reconfig_delay = sec_to_ns(1.0);
+  TrainingSimulator fast(fast_cfg), slow(slow_cfg);
+  const auto rf = fast.run_iteration();
+  const auto rs = slow.run_iteration();
+  EXPECT_GT(rs.reconfig_blocked, 0);
+  EXPECT_GT(static_cast<double>(rs.total), 1.2 * static_cast<double>(rf.total));
+}
+
+TEST(TrainingSim, TinyReconfigDelayMarginalGain) {
+  auto us_cfg = base(topo::FabricKind::kMixNet);
+  us_cfg.reconfig_delay = us_to_ns(10);
+  TrainingSimulator fast(us_cfg);
+  TrainingSimulator def(base(topo::FabricKind::kMixNet));
+  const auto rf = fast.run_iteration();
+  const auto rd = def.run_iteration();
+  // Both hidden -> nearly identical totals (Fig. 28 flat region).
+  EXPECT_NEAR(static_cast<double>(rf.total) / static_cast<double>(rd.total), 1.0, 0.02);
+}
+
+TEST(TrainingSim, GreedyBeatsUniformCircuitsOnSkewedDemand) {
+  // Algorithm 1 ablation: demand-aware circuits beat oblivious spreading
+  // when the all-to-all matrix is skewed (the regime §3 measures). On
+  // near-uniform demand the two tie -- bench_ablation quantifies both.
+  topo::FabricConfig fc;
+  fc.kind = topo::FabricKind::kMixNet;
+  fc.n_servers = 8;
+  fc.region_servers = 8;
+  fc.nic_gbps = 100.0;
+
+  Matrix demand(8, 8, mib(2));  // cold background
+  for (std::size_t i = 0; i < 8; ++i) demand(i, i) = 0.0;
+  demand(0, 1) = demand(1, 0) = mib(400);  // hot pairs
+  demand(2, 5) = demand(5, 2) = mib(300);
+
+  auto measure = [&](control::CircuitPolicy policy) {
+    auto fabric = topo::Fabric::build(fc);
+    control::ControllerConfig cc;
+    cc.policy = policy;
+    control::TopologyController ctrl(fabric, 0, cc);
+    ctrl.prepare(demand, ms_to_ns(100));
+    PhaseRunner pr(fabric);
+    return pr.ep_all_to_all({0, 1, 2, 3, 4, 5, 6, 7}, demand);
+  };
+  const TimeNs greedy = measure(control::CircuitPolicy::kGreedy);
+  const TimeNs uniform = measure(control::CircuitPolicy::kUniform);
+  EXPECT_LT(static_cast<double>(greedy), 0.8 * static_cast<double>(uniform));
+}
+
+TEST(TrainingSim, HigherBandwidthNeverSlower) {
+  auto c100 = base(topo::FabricKind::kMixNet, 100.0);
+  auto c400 = base(topo::FabricKind::kMixNet, 400.0);
+  TrainingSimulator s100(c100), s400(c400);
+  EXPECT_GT(s100.run_iteration().total, s400.run_iteration().total);
+}
+
+TEST(TrainingSim, OpticalDegreeImproves) {
+  // Fig. 27: at equal cost, trading electrical ports for OCS ports buys more
+  // deliverable bandwidth, so iteration time falls with the optical degree.
+  TimeNs prev = kTimeInf;
+  TrainingConfig tmpl;
+  tmpl.model = moe::mixtral_8x22b();
+  tmpl.par = moe::default_parallelism(tmpl.model);
+  tmpl.par.n_microbatches = 2;
+  tmpl.par_overridden = true;
+  tmpl.fabric_kind = topo::FabricKind::kMixNet;
+  for (int alpha : {1, 4, 6}) {
+    auto cfg = tmpl;
+    cfg.eps_nics = cfg.nics_per_server - alpha;
+    cfg.nic_gbps = cost::cost_equivalent_eps_gbps(alpha, cfg.nics_per_server, 100);
+    cfg.ocs_nic_gbps = 100.0;
+    TrainingSimulator sim(cfg);
+    const TimeNs t = sim.run_iteration().total;
+    EXPECT_LE(t, prev + ms_to_ns(50)) << "alpha " << alpha;
+    prev = t;
+  }
+}
+
+TEST(TrainingSim, TimelineMatchesFig3Shape) {
+  TrainingSimulator sim(base(topo::FabricKind::kMixNet));
+  sim.run_iteration();
+  const auto& t = sim.layer_timeline();
+  EXPECT_GT(t.expert, t.attention);       // experts dominate compute
+  EXPECT_GT(t.attention, t.gate);         // gate is cheap
+  EXPECT_GT(t.a2a1, 0);
+  EXPECT_GT(ns_to_ms(t.expert), 100.0);   // §3 anchor
+}
+
+TEST(TrainingSim, FailuresAddModestOverhead) {
+  // Fig. 14 shapes: one NIC < two NIC; one GPU < one server; all bounded.
+  const auto baseline = TrainingSimulator(base(topo::FabricKind::kMixNet))
+                            .run_iteration().total;
+  auto with_failure = [&](control::FailureScenario::Kind kind) {
+    auto cfg = base(topo::FabricKind::kMixNet);
+    cfg.failure = {kind, 0};
+    TrainingSimulator sim(cfg);
+    return sim.run_iteration().total;
+  };
+  const auto one_nic = with_failure(control::FailureScenario::Kind::kOneNic);
+  const auto two_nic = with_failure(control::FailureScenario::Kind::kTwoNic);
+  const auto one_gpu = with_failure(control::FailureScenario::Kind::kOneGpu);
+  const auto server = with_failure(control::FailureScenario::Kind::kServerDown);
+  // Every failure costs something; a full-server replacement costs the most
+  // (Fig. 14). One- vs two-NIC ordering is not asserted: in our model the
+  // dual-NIC optical detour reaches the peer's *full* EPS and can slightly
+  // beat a degraded single NIC (documented in EXPERIMENTS.md).
+  auto ge = [](TimeNs a, TimeNs b) {
+    return static_cast<double>(a) >= 0.998 * static_cast<double>(b);
+  };
+  EXPECT_TRUE(ge(one_nic, baseline));
+  EXPECT_TRUE(ge(two_nic, baseline));
+  EXPECT_TRUE(ge(one_gpu, baseline));
+  EXPECT_TRUE(ge(server, one_gpu));
+  EXPECT_TRUE(ge(server, two_nic));
+  // All within ~35% (paper: 0.3%-12.8%).
+  for (TimeNs t : {one_nic, two_nic, one_gpu, server})
+    EXPECT_LT(static_cast<double>(t), 1.35 * static_cast<double>(baseline));
+}
+
+TEST(TrainingSim, DpReplicasAddAllReduce) {
+  auto cfg = base(topo::FabricKind::kFatTree);
+  cfg.par.dp = 2;
+  TrainingSimulator sim(cfg);
+  const auto r = sim.run_iteration();
+  EXPECT_GT(r.dp_comm, 0);
+  EXPECT_DOUBLE_EQ(r.tokens,
+                   cfg.par.tokens_per_microbatch() * cfg.par.n_microbatches * 2);
+}
+
+TEST(TrainingSim, MonitorObservesAllStageLayers) {
+  auto cfg = base(topo::FabricKind::kMixNet);
+  TrainingSimulator sim(cfg);
+  sim.run_iteration();
+  const int lps = cfg.model.n_blocks / cfg.par.pp;
+  EXPECT_EQ(sim.monitor().observations(), static_cast<std::size_t>(lps));
+}
+
+TEST(TrainingSim, CopilotModeCloseToOracle) {
+  // §B.1: predictive reconfiguration should cost little vs oracle demand.
+  auto oracle_cfg = base(topo::FabricKind::kMixNet);
+  auto copilot_cfg = base(topo::FabricKind::kMixNet);
+  copilot_cfg.use_copilot = true;
+  TrainingSimulator oracle(oracle_cfg), copilot(copilot_cfg);
+  TimeNs to = 0, tc = 0;
+  for (int i = 0; i < 3; ++i) {
+    to += oracle.run_iteration().total;
+    tc += copilot.run_iteration().total;
+  }
+  EXPECT_LT(static_cast<double>(tc), 1.15 * static_cast<double>(to));
+  EXPECT_GE(static_cast<double>(tc), 0.95 * static_cast<double>(to));
+}
+
+TEST(TrainingSim, MultiIterationVariability) {
+  TrainingSimulator sim(base(topo::FabricKind::kMixNet));
+  const auto rs = sim.run(3);
+  ASSERT_EQ(rs.size(), 3u);
+  for (const auto& r : rs) EXPECT_GT(r.total, 0);
+}
+
+TEST(TrainingSim, Nvl72OpticalIoFaster) {
+  // §8 / Fig. 16 shape: splitting GPU I/O between NVLink and a regional OCS
+  // beats pushing all cross-domain EP traffic through scale-out Ethernet.
+  TrainingConfig nvl;
+  nvl.model = moe::deepseek_v3();
+  nvl.par = moe::default_parallelism(nvl.model);
+  nvl.par.n_microbatches = 2;
+  nvl.par.micro_batch = 60;  // scaled down for test runtime
+  nvl.par_overridden = true;
+  nvl.fabric_kind = topo::FabricKind::kNvl72;
+  nvl.gpus_per_server = 64;
+  nvl.nics_per_server = 64;
+  nvl.nic_gbps = 800.0;
+  nvl.nvlink_gbps_per_gpu = 7200.0;
+
+  TrainingConfig mix = nvl;
+  mix.fabric_kind = topo::FabricKind::kMixNetOpticalIO;
+  // Equal total GPU I/O (§8): 800G Ethernet stays; the remaining 7.2 Tbps
+  // per GPU is split between NVLink (3.6T) and regional OCS (3.6T over 32
+  // ports per domain => 7.2T per port).
+  mix.nics_per_server = 96;
+  mix.eps_nics = 64;
+  mix.nvlink_gbps_per_gpu = 3600.0;
+  mix.ocs_nic_gbps = 3600.0 * 64.0 / 32.0;
+
+  TrainingSimulator s_nvl(nvl), s_mix(mix);
+  const auto r_nvl = s_nvl.run_iteration();
+  const auto r_mix = s_mix.run_iteration();
+  EXPECT_LT(r_mix.total, r_nvl.total);
+}
+
+}  // namespace
+}  // namespace mixnet::sim

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "net/routing.h"
+#include "topo/fabric.h"
+
+namespace mixnet::topo {
+namespace {
+
+FabricConfig base_config(FabricKind kind, int n_servers = 8) {
+  FabricConfig c;
+  c.kind = kind;
+  c.n_servers = n_servers;
+  c.nic_gbps = 100.0;
+  return c;
+}
+
+TEST(Fabric, FatTreeConnectsAllServerPairs) {
+  Fabric f = Fabric::build(base_config(FabricKind::kFatTree, 16));
+  net::EcmpRouter r(f.network());
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(r.route(f.server_node(i), f.server_node(j), 7).empty())
+          << i << "->" << j;
+    }
+  }
+}
+
+TEST(Fabric, FatTreeHasPerNicParallelLinks) {
+  Fabric f = Fabric::build(base_config(FabricKind::kFatTree, 4));
+  // Each server should have nics_per_server out-links to its ToR.
+  const auto& n = f.network().node(f.server_node(0));
+  EXPECT_EQ(n.out_links.size(), 8u);
+}
+
+TEST(Fabric, RailOptimizedSameRankOneSwitchApart) {
+  Fabric f = Fabric::build(base_config(FabricKind::kRailOptimized, 16));
+  net::EcmpRouter r(f.network());
+  // Same pod: 2 hops through a rail switch.
+  EXPECT_EQ(r.distance(f.server_node(0), f.server_node(1)), 2);
+}
+
+TEST(Fabric, OverSubUplinkIsSlimmer) {
+  Fabric f1 = Fabric::build(base_config(FabricKind::kFatTree, 8));
+  FabricConfig oc = base_config(FabricKind::kOverSubFatTree, 8);
+  oc.oversub = 3.0;
+  Fabric f3 = Fabric::build(oc);
+  // Find uplink capacities (links into the core node, which is node index
+  // n_servers in construction order).
+  auto uplink_cap = [](const Fabric& f) {
+    Bps total = 0;
+    for (const auto& l : f.network().links()) {
+      if (f.network().node(l.dst).label == "core") total += l.capacity;
+    }
+    return total;
+  };
+  EXPECT_NEAR(uplink_cap(f1) / uplink_cap(f3), 3.0, 1e-6);
+}
+
+TEST(Fabric, MixNetSplitsNics) {
+  FabricConfig c = base_config(FabricKind::kMixNet, 8);
+  c.eps_nics = 2;
+  c.optical_degree = 6;
+  c.region_servers = 4;
+  Fabric f = Fabric::build(c);
+  EXPECT_EQ(f.n_regions(), 2);
+  EXPECT_EQ(f.optical_degree(), 6);
+  EXPECT_TRUE(f.has_circuits());
+  EXPECT_TRUE(f.has_eps());
+  // EPS side: 2 NIC links to ToR.
+  EXPECT_EQ(f.network().node(f.server_node(0)).out_links.size(), 2u);
+}
+
+TEST(Fabric, MixNetRejectsBadNicSplit) {
+  FabricConfig c = base_config(FabricKind::kMixNet, 8);
+  c.eps_nics = 3;
+  c.optical_degree = 6;  // 3 + 6 != 8
+  EXPECT_THROW(Fabric::build(c), std::invalid_argument);
+}
+
+TEST(Fabric, RegionAssignmentContiguous) {
+  FabricConfig c = base_config(FabricKind::kMixNet, 16);
+  c.region_servers = 4;
+  Fabric f = Fabric::build(c);
+  EXPECT_EQ(f.n_regions(), 4);
+  EXPECT_EQ(f.region_of(0), 0);
+  EXPECT_EQ(f.region_of(3), 0);
+  EXPECT_EQ(f.region_of(4), 1);
+  EXPECT_EQ(f.region_servers(1), (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST(Fabric, ApplyCircuitsCreatesDuplexLinks) {
+  FabricConfig c = base_config(FabricKind::kMixNet, 8);
+  c.region_servers = 4;
+  Fabric f = Fabric::build(c);
+  Matrix counts(4, 4, 0.0);
+  counts(0, 1) = counts(1, 0) = 2;
+  counts(2, 3) = counts(3, 2) = 1;
+  f.apply_circuits(0, counts);
+  const net::LinkId l01 = f.circuit_link(0, 0, 1);
+  ASSERT_NE(l01, net::kInvalidLink);
+  EXPECT_DOUBLE_EQ(f.network().link(l01).capacity, 2 * gbps(100));
+  EXPECT_NE(f.circuit_link(0, 1, 0), net::kInvalidLink);
+  EXPECT_EQ(f.circuit_link(0, 0, 2), net::kInvalidLink);
+  EXPECT_EQ(f.circuit_link(0, 0, 0), net::kInvalidLink);
+}
+
+TEST(Fabric, ReapplyCircuitsTearsDownStale) {
+  FabricConfig c = base_config(FabricKind::kMixNet, 8);
+  c.region_servers = 4;
+  Fabric f = Fabric::build(c);
+  Matrix a(4, 4, 0.0);
+  a(0, 1) = a(1, 0) = 3;
+  f.apply_circuits(0, a);
+  Matrix b(4, 4, 0.0);
+  b(0, 2) = b(2, 0) = 1;
+  f.apply_circuits(0, b);
+  EXPECT_EQ(f.circuit_link(0, 0, 1), net::kInvalidLink);
+  EXPECT_NE(f.circuit_link(0, 0, 2), net::kInvalidLink);
+  Matrix now = f.circuit_counts(0);
+  EXPECT_DOUBLE_EQ(now(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(now(0, 2), 1.0);
+}
+
+TEST(Fabric, CircuitDegreeEnforced) {
+  FabricConfig c = base_config(FabricKind::kMixNet, 8);
+  c.region_servers = 4;
+  Fabric f = Fabric::build(c);
+  Matrix counts(4, 4, 0.0);
+  counts(0, 1) = counts(1, 0) = 4;
+  counts(0, 2) = counts(2, 0) = 3;  // row 0 sums to 7 > alpha 6
+  EXPECT_THROW(f.apply_circuits(0, counts), std::invalid_argument);
+}
+
+TEST(Fabric, RegionCircuitsDarkDuringReconfig) {
+  FabricConfig c = base_config(FabricKind::kMixNet, 8);
+  c.region_servers = 4;
+  Fabric f = Fabric::build(c);
+  Matrix counts(4, 4, 0.0);
+  counts(0, 1) = counts(1, 0) = 1;
+  f.apply_circuits(0, counts);
+  f.set_region_circuits_up(0, false);
+  EXPECT_EQ(f.circuit_link(0, 0, 1), net::kInvalidLink);
+  f.set_region_circuits_up(0, true);
+  EXPECT_NE(f.circuit_link(0, 0, 1), net::kInvalidLink);
+}
+
+TEST(Fabric, TopoOptHasNoEps) {
+  Fabric f = Fabric::build(base_config(FabricKind::kTopoOpt, 8));
+  EXPECT_FALSE(f.has_eps());
+  EXPECT_TRUE(f.has_circuits());
+  EXPECT_EQ(f.optical_degree(), 8);
+  EXPECT_EQ(f.n_regions(), 1);
+  EXPECT_EQ(f.n_switch_nodes(), 0);
+}
+
+TEST(Fabric, OpticalIoUsesOcsRate) {
+  FabricConfig c = base_config(FabricKind::kMixNetOpticalIO, 4);
+  c.eps_nics = 2;
+  c.optical_degree = 6;
+  c.region_servers = 2;
+  c.ocs_nic_gbps = 3600.0;
+  Fabric f = Fabric::build(c);
+  Matrix counts(2, 2, 0.0);
+  counts(0, 1) = counts(1, 0) = 1;
+  f.apply_circuits(0, counts);
+  EXPECT_DOUBLE_EQ(f.network().link(f.circuit_link(0, 0, 1)).capacity, gbps(3600));
+}
+
+class FabricConnectivity : public ::testing::TestWithParam<FabricKind> {};
+
+TEST_P(FabricConnectivity, AllPairsReachableOnEpsFabrics) {
+  FabricConfig c = base_config(GetParam(), 12);
+  c.region_servers = 4;
+  if (GetParam() == FabricKind::kMixNet) {
+    c.eps_nics = 2;
+    c.optical_degree = 6;
+  }
+  Fabric f = Fabric::build(c);
+  net::EcmpRouter r(f.network());
+  for (int i = 0; i < f.n_servers(); ++i) {
+    for (int j = 0; j < f.n_servers(); ++j) {
+      if (i == j) continue;
+      EXPECT_GT(r.distance(f.server_node(i), f.server_node(j)), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsKinds, FabricConnectivity,
+                         ::testing::Values(FabricKind::kFatTree,
+                                           FabricKind::kOverSubFatTree,
+                                           FabricKind::kRailOptimized,
+                                           FabricKind::kMixNet));
+
+}  // namespace
+}  // namespace mixnet::topo
