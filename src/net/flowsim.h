@@ -7,8 +7,9 @@
 // earliest projected completion is kept as a single pending event.
 //
 // For the multi-megabyte transfers that dominate distributed training this
-// matches per-packet fair-queueing simulation closely; tests/net_validation
-// cross-checks it against the store-and-forward PacketSim.
+// matches per-packet fair-queueing simulation closely; the PacketVsFluid
+// sweep in tests/net_test.cc cross-checks it against the store-and-forward
+// PacketSim.
 #pragma once
 
 #include <cstdint>
