@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build, run the full CTest suite.
+# Tier-1 verify: configure, build, run the full CTest suite, then run the
+# figure harnesses in a timed smoke mode so perf regressions on the phase
+# simulation hot path show up in CI output.
 # Exits non-zero on the first failing step; suitable as a CI job.
 set -euo pipefail
 
@@ -7,5 +9,22 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S .
 cmake --build build -j
-cd build
-ctest --output-on-failure -j
+(cd build && ctest --output-on-failure -j)
+
+# Figure-bench smoke: build the `figures` aggregate, then time the two
+# harnesses that stress the phase-simulation path hardest (Fig. 12/13 sweep
+# full training iterations over every fabric). Wall time is printed so a CI
+# log diff makes perf regressions visible; MIXNET_SMOKE_BENCHES overrides
+# the list (space-separated), e.g. MIXNET_SMOKE_BENCHES="" to skip.
+cmake --build build -j -t figures
+smoke_benches=${MIXNET_SMOKE_BENCHES-"bench_fig12_speedups bench_fig13_pareto"}
+total_ns=0
+for b in $smoke_benches; do
+  start=$(date +%s%N)
+  ./build/bench/"$b" > /dev/null
+  end=$(date +%s%N)
+  dur=$((end - start))
+  total_ns=$((total_ns + dur))
+  awk -v d="$dur" -v n="$b" 'BEGIN{printf "smoke %-28s %8.2f s\n", n, d/1e9}'
+done
+awk -v d="$total_ns" 'BEGIN{printf "smoke total bench wall time    %8.2f s\n", d/1e9}'

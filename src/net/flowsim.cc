@@ -25,23 +25,25 @@ FlowId FlowSim::start_flow(FlowSpec spec) {
   f.spec = std::move(spec);
 
   if (f.spec.path.empty()) {
-    // Intra-node transfer: completes after fixed latency only.
+    // Intra-node transfer: completes after fixed latency only. Stats are
+    // credited when it completes, not now, so mid-sim queries stay honest.
     auto cb = f.spec.on_complete;
+    const Bytes size = f.remaining;
     const TimeNs done = sim_.now() + f.spec.extra_delay + 1;
-    sim_.schedule_at(done, [cb, id, done] {
+    sim_.schedule_at(done, [this, cb, id, done, size] {
+      ++completed_;
+      bytes_delivered_ += size;
       if (cb) cb(id, done);
     });
-    ++completed_;
-    bytes_delivered_ += f.remaining;
     return id;
   }
 
   advance_progress();
-  flows_.emplace(id, std::move(f));
-  if (!in_batch_) {
-    solve_rates();
-    schedule_next_completion();
-  }
+  auto [it, inserted] = flows_.emplace(id, std::move(f));
+  assert(inserted);
+  add_flow_to_links(it->second);
+  dirty_ = true;
+  schedule_commit();
   return id;
 }
 
@@ -49,40 +51,38 @@ bool FlowSim::cancel_flow(FlowId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return false;
   advance_progress();
+  remove_flow_from_links(it->second);
   flows_.erase(it);
-  if (!in_batch_) {
-    solve_rates();
-    schedule_next_completion();
-  }
+  dirty_ = true;
+  schedule_commit();
   return true;
 }
 
 void FlowSim::on_topology_change() {
   advance_progress();
-  if (!in_batch_) {
-    solve_rates();
-    schedule_next_completion();
-  }
+  dirty_ = true;
+  schedule_commit();
 }
 
-Bps FlowSim::flow_rate(FlowId id) const {
+Bps FlowSim::flow_rate(FlowId id) {
+  ensure_rates();
   auto it = flows_.find(id);
   return it == flows_.end() ? 0.0 : it->second.rate;
 }
 
-Bps FlowSim::link_throughput(LinkId id) const {
-  Bps total = 0.0;
-  for (const auto& [fid, f] : flows_) {
-    for (LinkId lid : f.spec.path)
-      if (lid == id) total += f.rate;
-  }
-  return total;
+Bps FlowSim::link_throughput(LinkId id) {
+  ensure_rates();
+  const auto i = static_cast<std::size_t>(id);
+  return i < link_rate_.size() ? link_rate_[i] : 0.0;
 }
 
 void FlowSim::advance_progress() {
   const TimeNs now = sim_.now();
   const double dt = ns_to_sec(now - last_progress_time_);
   if (dt > 0.0) {
+    // Rates were solved when this interval began (the commit event runs
+    // before virtual time can advance past a mutation instant).
+    assert(!dirty_ || flows_.empty());
     for (auto& [id, f] : flows_) {
       f.remaining -= f.rate * dt;
       if (f.remaining < 0.0) f.remaining = 0.0;
@@ -91,14 +91,71 @@ void FlowSim::advance_progress() {
   last_progress_time_ = now;
 }
 
+void FlowSim::ensure_rates() {
+  if (!dirty_) return;
+  solve_rates();
+  dirty_ = false;
+}
+
+void FlowSim::schedule_commit() {
+  // One commit per mutation instant: a pending commit is always scheduled at
+  // the current time (an older one would already have fired).
+  if (commit_event_ != 0) return;
+  commit_event_ = sim_.schedule_at(sim_.now(), [this] {
+    commit_event_ = 0;
+    ensure_rates();
+    schedule_next_completion();
+  });
+}
+
+void FlowSim::ensure_link_arrays() {
+  const std::size_t n = net_.link_count();
+  if (link_flow_count_.size() < n) {
+    link_flow_count_.resize(n, 0);
+    link_rate_.resize(n, 0.0);
+    link_in_use_.resize(n, 0);
+    rem_cap_.resize(n, 0.0);
+    unfrozen_count_.resize(n, 0);
+  }
+}
+
+void FlowSim::add_flow_to_links(const ActiveFlow& f) {
+  ensure_link_arrays();
+  for (LinkId lid : f.spec.path) {
+    const auto i = static_cast<std::size_t>(lid);
+    if (++link_flow_count_[i] == 1 && !link_in_use_[i]) {
+      link_in_use_[i] = 1;
+      used_links_.push_back(lid);
+    }
+  }
+}
+
+void FlowSim::remove_flow_from_links(const ActiveFlow& f) {
+  for (LinkId lid : f.spec.path) {
+    const auto i = static_cast<std::size_t>(lid);
+    assert(link_flow_count_[i] > 0);
+    --link_flow_count_[i];  // compacted out of used_links_ at the next solve
+  }
+}
+
 void FlowSim::solve_rates() {
-  // Progressive filling. Working state is rebuilt each solve; link ids index
-  // dense arrays sized to the network.
-  const std::size_t n_links = net_.link_count();
-  static thread_local std::vector<double> rem_cap;
-  static thread_local std::vector<std::int32_t> unfrozen_count;
-  rem_cap.assign(n_links, 0.0);
-  unfrozen_count.assign(n_links, 0);
+  // Progressive filling over the links actually in use. The used-link set is
+  // maintained incrementally by start/cancel/completion; here only links
+  // whose membership changed are (re)initialized, and links that lost their
+  // last flow are compacted out.
+  ensure_link_arrays();
+  std::size_t w = 0;
+  for (LinkId lid : used_links_) {
+    const auto i = static_cast<std::size_t>(lid);
+    link_rate_[i] = 0.0;
+    if (link_flow_count_[i] <= 0) {
+      link_in_use_[i] = 0;
+      continue;
+    }
+    used_links_[w++] = lid;
+    unfrozen_count_[i] = 0;
+  }
+  used_links_.resize(w);
 
   std::vector<ActiveFlow*> unfrozen;
   unfrozen.reserve(flows_.size());
@@ -114,25 +171,20 @@ void FlowSim::solve_rates() {
     }
     if (stalled) continue;  // rate stays 0 until topology change
     unfrozen.push_back(&f);
-    for (LinkId lid : f.spec.path) ++unfrozen_count[static_cast<std::size_t>(lid)];
+    for (LinkId lid : f.spec.path) ++unfrozen_count_[static_cast<std::size_t>(lid)];
   }
-  for (std::size_t lid = 0; lid < n_links; ++lid) {
-    if (unfrozen_count[lid] > 0) rem_cap[lid] = net_.link(static_cast<LinkId>(lid)).capacity;
+  for (LinkId lid : used_links_) {
+    const auto i = static_cast<std::size_t>(lid);
+    rem_cap_[i] = unfrozen_count_[i] > 0 ? net_.link(lid).capacity : 0.0;
   }
-
-  // Links actually in use this solve (avoids scanning the whole link table
-  // every filling iteration on large fabrics).
-  std::vector<LinkId> active_links;
-  for (std::size_t lid = 0; lid < n_links; ++lid)
-    if (unfrozen_count[lid] > 0) active_links.push_back(static_cast<LinkId>(lid));
 
   while (!unfrozen.empty()) {
-    // Bottleneck fair share across active links.
+    // Bottleneck fair share across links still carrying unfrozen flows.
     double min_share = std::numeric_limits<double>::infinity();
-    for (LinkId lid : active_links) {
+    for (LinkId lid : used_links_) {
       const auto i = static_cast<std::size_t>(lid);
-      if (unfrozen_count[i] <= 0) continue;
-      const double share = rem_cap[i] / unfrozen_count[i];
+      if (unfrozen_count_[i] <= 0) continue;
+      const double share = rem_cap_[i] / unfrozen_count_[i];
       min_share = std::min(min_share, share);
     }
     if (!std::isfinite(min_share)) break;
@@ -145,7 +197,7 @@ void FlowSim::solve_rates() {
       bool bottlenecked = false;
       for (LinkId lid : f->spec.path) {
         const auto li = static_cast<std::size_t>(lid);
-        const double share = rem_cap[li] / unfrozen_count[li];
+        const double share = rem_cap_[li] / unfrozen_count_[li];
         if (share <= min_share * (1.0 + 1e-12)) {
           bottlenecked = true;
           break;
@@ -158,6 +210,85 @@ void FlowSim::solve_rates() {
       f->rate = min_share;
       for (LinkId lid : f->spec.path) {
         const auto li = static_cast<std::size_t>(lid);
+        rem_cap_[li] -= min_share;
+        if (rem_cap_[li] < 0.0) rem_cap_[li] = 0.0;
+        --unfrozen_count_[li];
+        link_rate_[li] += min_share;  // O(1) throughput index
+      }
+      unfrozen[i] = unfrozen.back();
+      unfrozen.pop_back();
+      froze_any = true;
+    }
+    if (!froze_any) break;  // numerical guard; should not happen
+  }
+}
+
+std::unordered_map<FlowId, Bps> FlowSim::reference_rates() const {
+  // The original full re-solve: fresh dense working state sized to the whole
+  // network, no incremental bookkeeping. Kept as the oracle the fast path is
+  // validated against.
+  const std::size_t n_links = net_.link_count();
+  std::vector<double> rem_cap(n_links, 0.0);
+  std::vector<std::int32_t> unfrozen_count(n_links, 0);
+  std::unordered_map<FlowId, Bps> rates;
+  rates.reserve(flows_.size());
+
+  struct RefFlow {
+    FlowId id;
+    const std::vector<LinkId>* path;
+  };
+  std::vector<RefFlow> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) {
+    rates[id] = 0.0;
+    bool stalled = false;
+    for (LinkId lid : f.spec.path) {
+      const Link& l = net_.link(lid);
+      if (!l.up || l.capacity <= 0.0) {
+        stalled = true;
+        break;
+      }
+    }
+    if (stalled) continue;
+    unfrozen.push_back({id, &f.spec.path});
+    for (LinkId lid : f.spec.path) ++unfrozen_count[static_cast<std::size_t>(lid)];
+  }
+  std::vector<LinkId> active_links;
+  for (std::size_t lid = 0; lid < n_links; ++lid) {
+    if (unfrozen_count[lid] > 0) {
+      rem_cap[lid] = net_.link(static_cast<LinkId>(lid)).capacity;
+      active_links.push_back(static_cast<LinkId>(lid));
+    }
+  }
+
+  while (!unfrozen.empty()) {
+    double min_share = std::numeric_limits<double>::infinity();
+    for (LinkId lid : active_links) {
+      const auto i = static_cast<std::size_t>(lid);
+      if (unfrozen_count[i] <= 0) continue;
+      min_share = std::min(min_share, rem_cap[i] / unfrozen_count[i]);
+    }
+    if (!std::isfinite(min_share)) break;
+    if (min_share < 0.0) min_share = 0.0;
+
+    bool froze_any = false;
+    for (std::size_t i = 0; i < unfrozen.size();) {
+      const RefFlow& f = unfrozen[i];
+      bool bottlenecked = false;
+      for (LinkId lid : *f.path) {
+        const auto li = static_cast<std::size_t>(lid);
+        if (rem_cap[li] / unfrozen_count[li] <= min_share * (1.0 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) {
+        ++i;
+        continue;
+      }
+      rates[f.id] = min_share;
+      for (LinkId lid : *f.path) {
+        const auto li = static_cast<std::size_t>(lid);
         rem_cap[li] -= min_share;
         if (rem_cap[li] < 0.0) rem_cap[li] = 0.0;
         --unfrozen_count[li];
@@ -166,8 +297,9 @@ void FlowSim::solve_rates() {
       unfrozen.pop_back();
       froze_any = true;
     }
-    if (!froze_any) break;  // numerical guard; should not happen
+    if (!froze_any) break;
   }
+  return rates;
 }
 
 void FlowSim::schedule_next_completion() {
@@ -178,9 +310,11 @@ void FlowSim::schedule_next_completion() {
   TimeNs best = kTimeInf;
   for (const auto& [id, f] : flows_) {
     if (f.rate <= 0.0) continue;
-    const double secs = std::max(f.remaining, 0.0) / f.rate;
-    const TimeNs t = sim_.now() + std::max<TimeNs>(sec_to_ns(secs), 1);
-    best = std::min(best, t);
+    // transmission_time clamps at kTimeInf, so an epsilon-small rate cannot
+    // overflow the double->TimeNs conversion; "never" flows are skipped.
+    const TimeNs dt = transmission_time(std::max(f.remaining, 0.0), f.rate);
+    if (dt >= kTimeInf) continue;
+    best = std::min(best, sim_.now() + dt);
   }
   if (best >= kTimeInf) return;
   pending_event_ = sim_.schedule_at(best, [this] {
@@ -196,26 +330,29 @@ void FlowSim::handle_completion_event() {
   std::vector<std::pair<FlowId, ActiveFlow>> done;
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (it->second.remaining <= kCompletionEps) {
+      remove_flow_from_links(it->second);
       done.emplace_back(it->first, std::move(it->second));
       it = flows_.erase(it);
     } else {
       ++it;
     }
   }
-  in_batch_ = true;
   for (auto& [id, f] : done) {
-    ++completed_;
-    bytes_delivered_ += f.spec.size;
+    // Deliver at arrival time (propagation tail), preserving causality; the
+    // completion/byte counters are credited at that same instant so mid-sim
+    // monitor queries never see bytes that have not arrived yet.
     const TimeNs arrival = sim_.now() + f.path_delay + f.spec.extra_delay;
-    if (f.spec.on_complete) {
-      // Deliver at arrival time (propagation tail), preserving causality.
-      auto cb = f.spec.on_complete;
-      const FlowId fid = id;
-      sim_.schedule_at(arrival, [cb, fid, arrival] { cb(fid, arrival); });
-    }
+    auto cb = std::move(f.spec.on_complete);
+    const FlowId fid = id;
+    const Bytes size = f.spec.size;
+    sim_.schedule_at(arrival, [this, cb, fid, arrival, size] {
+      ++completed_;
+      bytes_delivered_ += size;
+      if (cb) cb(fid, arrival);
+    });
   }
-  in_batch_ = false;
-  solve_rates();
+  if (!done.empty()) dirty_ = true;
+  ensure_rates();
   schedule_next_completion();
 }
 

@@ -3,8 +3,16 @@
 // This is the packet-level-simulation substitute documented in DESIGN.md §2:
 // each flow is a bulk transfer along a fixed path; at any instant, rates are
 // the max-min fair allocation given link capacities (progressive filling).
-// Rates are recomputed whenever the flow set or the topology changes, and the
-// earliest projected completion is kept as a single pending event.
+//
+// Rate solving is *batched and incremental*: flow starts/cancels/topology
+// changes mark the allocation dirty and enqueue a single zero-delay commit
+// event, so a collective that launches N flows at one instant pays one solve
+// instead of N (rates only matter once virtual time advances). Per-link
+// active-flow counts and the set of links in use are maintained incrementally
+// as flows come and go (replicant-opera-style bookkeeping), so a solve only
+// rebuilds state for links whose membership changed, and per-link throughput
+// is served O(1) from an index updated by the solver. `reference_rates()`
+// re-solves from scratch; tests assert the fast path matches it.
 //
 // For the multi-megabyte transfers that dominate distributed training this
 // matches per-packet fair-queueing simulation closely; the PacketVsFluid
@@ -46,7 +54,8 @@ class FlowSim {
   FlowSim(const FlowSim&) = delete;
   FlowSim& operator=(const FlowSim&) = delete;
 
-  /// Begin a flow; rates of all flows are re-solved.
+  /// Begin a flow; the max-min allocation is re-solved once before virtual
+  /// time next advances (same-instant starts share one solve).
   FlowId start_flow(FlowSpec spec);
 
   /// Abort a flow without invoking its callback. Returns false if unknown.
@@ -58,14 +67,24 @@ class FlowSim {
   void on_topology_change();
 
   std::size_t active_flow_count() const { return flows_.size(); }
+
+  /// Flows whose last byte has *arrived* (not merely drained from the
+  /// source); consistent with bytes_delivered() at any mid-sim instant.
   std::uint64_t completed_flow_count() const { return completed_; }
   Bytes bytes_delivered() const { return bytes_delivered_; }
 
-  /// Current max-min rate of a flow (0 if stalled or unknown).
-  Bps flow_rate(FlowId id) const;
+  /// Current max-min rate of a flow (0 if stalled or unknown). Solves first
+  /// if the allocation is stale, hence non-const.
+  Bps flow_rate(FlowId id);
 
   /// Sum of current rates over a link (diagnostics / utilization reports).
-  Bps link_throughput(LinkId id) const;
+  /// O(1): served from the per-link throughput index the solver maintains.
+  Bps link_throughput(LinkId id);
+
+  /// Max-min rates recomputed from scratch with the reference progressive-
+  /// filling algorithm, ignoring all incremental state. Test oracle for the
+  /// fast path (see tests/phase_cache_test.cc).
+  std::unordered_map<FlowId, Bps> reference_rates() const;
 
  private:
   struct ActiveFlow {
@@ -77,9 +96,14 @@ class FlowSim {
   };
 
   void advance_progress();
+  void ensure_rates();        // solve_rates() iff dirty
+  void schedule_commit();     // one zero-delay solve per mutation instant
   void solve_rates();
   void schedule_next_completion();
   void handle_completion_event();
+  void ensure_link_arrays();
+  void add_flow_to_links(const ActiveFlow& f);
+  void remove_flow_from_links(const ActiveFlow& f);
 
   eventsim::Simulator& sim_;
   const Network& net_;
@@ -87,9 +111,22 @@ class FlowSim {
   FlowId next_id_ = 1;
   TimeNs last_progress_time_ = 0;
   eventsim::EventId pending_event_ = 0;
+  eventsim::EventId commit_event_ = 0;
   std::uint64_t completed_ = 0;
   Bytes bytes_delivered_ = 0.0;
-  bool in_batch_ = false;  // defers re-solve while completion callbacks run
+  bool dirty_ = false;  // flow set / topology changed since the last solve
+
+  // Incremental per-link bookkeeping. Indexed by LinkId; grown on demand
+  // (links can be added at runtime, e.g. OCS circuits). `used_links_` holds
+  // every link with at least one active flow; entries whose count dropped to
+  // zero are compacted out at the next solve.
+  std::vector<std::int32_t> link_flow_count_;
+  std::vector<Bps> link_rate_;  // throughput index, rebuilt each solve
+  std::vector<char> link_in_use_;
+  std::vector<LinkId> used_links_;
+  // Per-solve scratch, persistent so a solve never clears O(total links).
+  std::vector<double> rem_cap_;
+  std::vector<std::int32_t> unfrozen_count_;
 };
 
 }  // namespace mixnet::net

@@ -10,8 +10,21 @@
 // Each call spins up a fresh event simulator + flow simulator + collective
 // engine over the shared Network, runs the requested collective, and returns
 // the completion time.
+//
+// Phase results are memoized (DESIGN.md §6): the key is (phase kind,
+// topology epoch, participant set, 64-bit demand hash), so a phase whose
+// inputs and fabric state are unchanged — the same layer re-visited by a
+// later micro-batch or a warm iteration, the per-iteration PP send, the DP
+// gradient ring — returns its cached duration without re-simulating.
+// Topology mutations (OCS reconfiguration, failure injection) change the
+// fabric epoch and therefore miss; set_relays() drops the cache outright
+// because relay rules are PhaseRunner state the epoch cannot see. The cache
+// is LRU-bounded; stats() reports hits/misses/invalidations.
 #pragma once
 
+#include <cstdint>
+#include <list>
+#include <unordered_map>
 #include <vector>
 
 #include "collective/engine.h"
@@ -23,12 +36,23 @@
 
 namespace mixnet::sim {
 
+/// Phase-cache counters (see PhaseRunner::stats()).
+struct PhaseCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;  ///< explicit cache drops (relay changes)
+  std::size_t entries = 0;          ///< live cached phases
+};
+
 class PhaseRunner {
  public:
-  explicit PhaseRunner(topo::Fabric& fabric, collective::EngineConfig ecfg = {});
+  explicit PhaseRunner(topo::Fabric& fabric, collective::EngineConfig ecfg = {},
+                       std::size_t cache_capacity = 1024);
 
   /// Relay rules applied to every engine instance (failure scenarios).
-  void set_relays(const std::vector<control::RelayRule>& relays) { relays_ = relays; }
+  /// Drops every cached phase: relays change results without touching the
+  /// fabric, so the topology epoch alone cannot invalidate them.
+  void set_relays(const std::vector<control::RelayRule>& relays);
 
   /// EP all-to-all among `group_servers` with server-level `bytes`.
   TimeNs ep_all_to_all(const std::vector<int>& group_servers, const Matrix& bytes);
@@ -46,14 +70,57 @@ class PhaseRunner {
 
   net::EcmpRouter& router() { return router_; }
 
+  /// Cache hit/miss/invalidation counters since construction.
+  PhaseCacheStats stats() const;
+
  private:
+  enum class PhaseKind : std::uint8_t {
+    kEpAllToAll,
+    kSend,
+    kAllReduce,
+    kDpAllReduce,
+  };
+
+  struct CacheKey {
+    PhaseKind kind = PhaseKind::kSend;
+    std::uint64_t epoch = 0;
+    std::vector<int> participants;  // exact, not hashed: collisions impossible
+    std::uint64_t demand_hash = 0;  // matrix_hash / payload-size hash
+
+    bool operator==(const CacheKey& o) const {
+      return kind == o.kind && epoch == o.epoch && demand_hash == o.demand_hash &&
+             participants == o.participants;
+    }
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const;
+  };
+
   template <typename LaunchFn>
-  TimeNs run_phase(LaunchFn&& launch);
+  TimeNs run_phase(const char* label, LaunchFn&& launch);
+
+  /// Serve `key` from the cache, or run the phase and insert (LRU-evicting).
+  template <typename LaunchFn>
+  TimeNs cached_phase(const char* label, CacheKey key, LaunchFn&& launch);
 
   topo::Fabric& fabric_;
   collective::EngineConfig ecfg_;
   net::EcmpRouter router_;
   std::vector<control::RelayRule> relays_;
+
+  // LRU phase cache. Each key is stored once, in the map; the LRU list holds
+  // pointers to the map's keys (node-based, so addresses are stable), front
+  // = most recent.
+  struct CacheEntry {
+    TimeNs duration = 0;
+    std::list<const CacheKey*>::iterator lru_it;
+  };
+  std::size_t cache_capacity_;
+  std::list<const CacheKey*> lru_;
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t invalidations_ = 0;
 };
 
 }  // namespace mixnet::sim

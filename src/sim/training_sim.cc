@@ -13,6 +13,35 @@ namespace {
 constexpr double kBf16 = 2.0;
 }
 
+Matrix rescale_plan_columns(Matrix seen, const std::vector<double>& predicted,
+                            const std::vector<int>& rank_to_local_server,
+                            int experts_per_rank) {
+  // Total captured once, before any column is touched: normalizing against a
+  // running seen.sum() would make each column's scale depend on the columns
+  // rescaled before it (order-dependent and self-referential).
+  const double total = seen.sum();
+  if (total <= 0.0) return seen;
+  const int n_experts = static_cast<int>(predicted.size());
+  const int ep_ranks = static_cast<int>(rank_to_local_server.size());
+  for (std::size_t c = 0; c < seen.cols(); ++c) {
+    double pred_col = 0.0;
+    const double seen_col = seen.col_sum(c);  // only column c is mutated below
+    for (int r = 0; r < ep_ranks; ++r) {
+      if (static_cast<std::size_t>(
+              rank_to_local_server[static_cast<std::size_t>(r)]) != c)
+        continue;
+      for (int e = r * experts_per_rank;
+           e < (r + 1) * experts_per_rank && e < n_experts; ++e)
+        pred_col += predicted[static_cast<std::size_t>(e)];
+    }
+    if (seen_col > 0.0 && pred_col > 0.0) {
+      const double scale = pred_col * total / seen_col;
+      for (std::size_t r = 0; r < seen.rows(); ++r) seen(r, c) *= scale;
+    }
+  }
+  return seen;
+}
+
 bool TrainingSimulator::is_mixnet() const {
   return cfg_.fabric_kind == topo::FabricKind::kMixNet ||
          cfg_.fabric_kind == topo::FabricKind::kMixNetOpticalIO;
@@ -209,25 +238,9 @@ IterationResult TrainingSimulator::run_iteration() {
         const auto predicted = cp.predict(prev_load);
         const Matrix* seen = monitor_.smoothed(rep_region_, l);
         if (seen != nullptr && cp.observations() > 4) {
-          plan = *seen;
           // Rescale destination columns toward the predicted rank loads.
           const auto epr = std::max(cfg_.model.n_experts / cfg_.par.ep, 1);
-          for (std::size_t c = 0; c < plan.cols(); ++c) {
-            double pred_col = 0.0, seen_col = plan.col_sum(c);
-            for (int r = 0; r < cfg_.par.ep; ++r) {
-              if (static_cast<std::size_t>(
-                      rank_to_local_server_[static_cast<std::size_t>(r)]) != c)
-                continue;
-              for (int e = r * epr; e < (r + 1) * epr && e < cfg_.model.n_experts;
-                   ++e)
-                pred_col += predicted[static_cast<std::size_t>(e)];
-            }
-            if (seen_col > 0.0 && pred_col > 0.0) {
-              const double scale = pred_col * plan.sum() / seen_col;
-              for (std::size_t r = 0; r < plan.rows(); ++r)
-                plan(r, c) *= scale / std::max(plan.sum(), 1e-9);
-            }
-          }
+          plan = rescale_plan_columns(*seen, predicted, rank_to_local_server_, epr);
         }
         cp.observe(prev_load, gate_->expert_load(l));
       }
@@ -294,9 +307,6 @@ IterationResult TrainingSimulator::run_iteration() {
         graph.add_dep(send, fwd_tail[static_cast<std::size_t>(s - 1)]
                                     [static_cast<std::size_t>(m)]);
         prev = send;
-      } else if (m > 0) {
-        // Serialize micro-batch injection at stage 0.
-        prev = -1;
       }
       for (int l = 0; l < lps; ++l) {
         const auto lu = static_cast<std::size_t>(l);

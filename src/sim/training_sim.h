@@ -109,6 +109,18 @@ struct IterationResult {
   }
 };
 
+/// Copilot planning-demand rescale (§B.1): scale each destination column of
+/// the observed matrix `seen` so its share of the pre-rescale total matches
+/// the predicted per-server expert load. `predicted` is the Copilot load
+/// distribution over experts; experts map to destination servers via
+/// `rank_to_local_server` and `experts_per_rank`. Column c's sum becomes
+/// pred_col(c) * sum(seen); columns with zero observed or predicted load are
+/// left untouched. Each column is normalized against the total captured
+/// before any mutation, so the result is independent of column order.
+Matrix rescale_plan_columns(Matrix seen, const std::vector<double>& predicted,
+                            const std::vector<int>& rank_to_local_server,
+                            int experts_per_rank);
+
 class TrainingSimulator {
  public:
   explicit TrainingSimulator(TrainingConfig cfg);

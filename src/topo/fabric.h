@@ -85,6 +85,15 @@ class Fabric {
   net::Network& network() { return net_; }
   const net::Network& network() const { return net_; }
 
+  /// Monotonically increasing topology epoch. Bumped by every fabric link
+  /// mutation: apply_circuits / set_region_circuits_up, failure injection,
+  /// and any link/node addition or capacity/up-down change applied directly
+  /// to the underlying Network (it delegates to Network::version(), so
+  /// mutations that bypass Fabric's own mutators are observed too). Callers
+  /// key cached network-dependent results — phase durations, routes — on
+  /// this value to detect staleness; see sim::PhaseRunner.
+  std::uint64_t epoch() const { return net_.version(); }
+
   net::NodeId server_node(int server_idx) const {
     return servers_[static_cast<std::size_t>(server_idx)];
   }

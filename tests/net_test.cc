@@ -349,6 +349,84 @@ TEST(FlowSim, PropagationDelayAddsToCompletion) {
   EXPECT_NEAR(ns_to_ms(done), mib(80) / gbps(80) * 1e3 + 3.0, 0.05);
 }
 
+TEST(FlowSim, StatsCreditedAtArrivalNotAtDrain) {
+  // 80 MiB at 80 Gbps drains the source at ~8.4 ms; with 3 ms of propagation
+  // the last byte *arrives* at ~11.4 ms. A monitor probing in between must
+  // not yet see the flow as completed (regression: stats used to be credited
+  // at drain time).
+  Network net;
+  NodeId a = net.add_node(NodeKind::kServer);
+  NodeId b = net.add_node(NodeKind::kServer);
+  LinkId l = net.add_link(a, b, gbps(80), ms_to_ns(3));
+  eventsim::Simulator sim;
+  FlowSim fs(sim, net);
+  FlowSpec s;
+  s.src = a;
+  s.dst = b;
+  s.size = mib(80);
+  s.path = {l};
+  fs.start_flow(std::move(s));
+  std::uint64_t completed_mid = 99;
+  Bytes bytes_mid = -1.0;
+  sim.schedule_at(ms_to_ns(10), [&] {
+    completed_mid = fs.completed_flow_count();
+    bytes_mid = fs.bytes_delivered();
+  });
+  sim.run();
+  EXPECT_EQ(completed_mid, 0u);
+  EXPECT_DOUBLE_EQ(bytes_mid, 0.0);
+  EXPECT_EQ(fs.completed_flow_count(), 1u);
+  EXPECT_DOUBLE_EQ(fs.bytes_delivered(), mib(80));
+}
+
+TEST(FlowSim, IntraNodeStatsCreditedAtCompletion) {
+  // Regression: intra-node flows used to bump the counters at *start* time.
+  Network net;
+  NodeId a = net.add_node(NodeKind::kServer);
+  eventsim::Simulator sim;
+  FlowSim fs(sim, net);
+  FlowSpec s;
+  s.src = a;
+  s.dst = a;
+  s.size = mib(2);
+  s.extra_delay = us_to_ns(50);
+  fs.start_flow(std::move(s));
+  EXPECT_EQ(fs.completed_flow_count(), 0u);
+  EXPECT_DOUBLE_EQ(fs.bytes_delivered(), 0.0);
+  sim.run();
+  EXPECT_EQ(fs.completed_flow_count(), 1u);
+  EXPECT_DOUBLE_EQ(fs.bytes_delivered(), mib(2));
+}
+
+TEST(FlowSim, EpsilonRateDoesNotOverflowCompletionTime) {
+  // A flow whose fair share is epsilon-small projects a completion past
+  // kTimeInf; the projection must clamp instead of overflowing TimeNs.
+  Network net;
+  NodeId a = net.add_node(NodeKind::kServer);
+  NodeId b = net.add_node(NodeKind::kServer);
+  LinkId l = net.add_link(a, b, /*capacity=*/1e-12, 0);
+  eventsim::Simulator sim;
+  FlowSim fs(sim, net);
+  bool fired = false;
+  FlowSpec s;
+  s.src = a;
+  s.dst = b;
+  s.size = gib(1);
+  s.path = {l};
+  s.on_complete = [&](FlowId, TimeNs) { fired = true; };
+  FlowId id = fs.start_flow(std::move(s));
+  sim.run();  // drains without a (mis-scheduled) completion event
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(fs.active_flow_count(), 1u);
+  EXPECT_GT(fs.flow_rate(id), 0.0);
+  // Restore a sane capacity: the flow now completes normally.
+  net.set_capacity(l, gbps(100));
+  fs.on_topology_change();
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(fs.active_flow_count(), 0u);
+}
+
 class FlowCountFairness : public ::testing::TestWithParam<int> {};
 
 TEST_P(FlowCountFairness, NFlowsDivideBottleneckEvenly) {

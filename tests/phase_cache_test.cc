@@ -1,0 +1,298 @@
+// Phase-result memoization (sim::PhaseRunner) and the FlowSim incremental
+// rate-solver fast path (DESIGN.md §6): cache hits on repeated demand,
+// invalidation via the topology epoch and relay changes, and bit-level
+// agreement between the incremental solver and the reference full re-solve
+// under randomized flow churn.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "control/failures.h"
+#include "eventsim/simulator.h"
+#include "net/flowsim.h"
+#include "net/routing.h"
+#include "sim/phase_runner.h"
+#include "sim/training_sim.h"
+#include "topo/fabric.h"
+
+namespace mixnet::sim {
+namespace {
+
+Matrix uniform_demand(std::size_t n, Bytes per_pair) {
+  Matrix m(n, n, per_pair);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 0.0;
+  return m;
+}
+
+// ------------------------------------------------------------ cache hits ----
+
+TEST(PhaseCache, HitOnRepeatedDemand) {
+  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 8});
+  PhaseRunner pr(fabric);
+  const std::vector<int> group = {0, 1, 2, 3, 4, 5, 6, 7};
+  const Matrix demand = uniform_demand(8, mib(8));
+
+  const TimeNs t1 = pr.ep_all_to_all(group, demand);
+  EXPECT_EQ(pr.stats().hits, 0u);
+  EXPECT_EQ(pr.stats().misses, 1u);
+
+  const TimeNs t2 = pr.ep_all_to_all(group, demand);
+  EXPECT_EQ(t2, t1);
+  EXPECT_EQ(pr.stats().hits, 1u);
+  EXPECT_EQ(pr.stats().misses, 1u);
+  EXPECT_EQ(pr.stats().entries, 1u);
+}
+
+TEST(PhaseCache, DistinctDemandMisses) {
+  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 8});
+  PhaseRunner pr(fabric);
+  const std::vector<int> group = {0, 1, 2, 3};
+  pr.ep_all_to_all(group, uniform_demand(4, mib(8)));
+  pr.ep_all_to_all(group, uniform_demand(4, mib(16)));
+  EXPECT_EQ(pr.stats().hits, 0u);
+  EXPECT_EQ(pr.stats().misses, 2u);
+  // Different participant set, same matrix shape: also a miss.
+  pr.ep_all_to_all({1, 2, 3, 4}, uniform_demand(4, mib(8)));
+  EXPECT_EQ(pr.stats().misses, 3u);
+}
+
+TEST(PhaseCache, SendAndDpAllReduceCached) {
+  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 8});
+  PhaseRunner pr(fabric);
+  const TimeNs s1 = pr.send(0, 5, mib(32));
+  const TimeNs s2 = pr.send(0, 5, mib(32));
+  EXPECT_EQ(s1, s2);
+  const TimeNs d1 = pr.dp_all_reduce(4, 2, mib(64));
+  const TimeNs d2 = pr.dp_all_reduce(4, 2, mib(64));
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(pr.stats().hits, 2u);
+  EXPECT_EQ(pr.stats().misses, 2u);
+  // dp=1 short-circuits without touching the cache.
+  EXPECT_EQ(pr.dp_all_reduce(4, 1, mib(64)), 0);
+  EXPECT_EQ(pr.stats().misses, 2u);
+}
+
+// ---------------------------------------------------------- invalidation ----
+
+TEST(PhaseCache, TopologyEpochBumpInvalidates) {
+  topo::FabricConfig fc;
+  fc.kind = topo::FabricKind::kMixNet;
+  fc.n_servers = 4;
+  fc.region_servers = 4;
+  fc.nic_gbps = 100.0;
+  auto fabric = topo::Fabric::build(fc);
+  PhaseRunner pr(fabric);
+  const std::vector<int> group = {0, 1, 2, 3};
+  const Matrix demand = uniform_demand(4, mib(64));
+
+  const TimeNs before = pr.ep_all_to_all(group, demand);
+  pr.ep_all_to_all(group, demand);
+  EXPECT_EQ(pr.stats().hits, 1u);
+
+  // Install circuits: the epoch moves, so the same demand re-simulates.
+  const auto epoch0 = fabric.epoch();
+  Matrix counts(4, 4, 0.0);
+  counts(0, 1) = counts(1, 0) = 2.0;
+  counts(2, 3) = counts(3, 2) = 2.0;
+  ASSERT_GT(fabric.apply_circuits(0, counts), 0);
+  EXPECT_GT(fabric.epoch(), epoch0);
+
+  const TimeNs after = pr.ep_all_to_all(group, demand);
+  EXPECT_EQ(pr.stats().hits, 1u);
+  EXPECT_EQ(pr.stats().misses, 2u);
+  EXPECT_LT(after, before);  // circuits actually help this demand
+}
+
+TEST(PhaseCache, LinkUpDownBumpsEpoch) {
+  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 4});
+  PhaseRunner pr(fabric);
+  pr.send(0, 1, mib(16));
+  const auto epoch0 = fabric.epoch();
+  fabric.network().set_up(0, false);
+  EXPECT_GT(fabric.epoch(), epoch0);
+  pr.send(0, 1, mib(16));  // keyed under the new epoch
+  EXPECT_EQ(pr.stats().hits, 0u);
+  EXPECT_EQ(pr.stats().misses, 2u);
+  fabric.network().set_up(0, true);
+}
+
+TEST(PhaseCache, RelayChangeDropsCache) {
+  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 4});
+  PhaseRunner pr(fabric);
+  const TimeNs direct = pr.send(0, 1, mib(100));
+  pr.set_relays({{0, 1, 2}});
+  EXPECT_EQ(pr.stats().invalidations, 1u);
+  EXPECT_EQ(pr.stats().entries, 0u);
+  const TimeNs detoured = pr.send(0, 1, mib(100));
+  EXPECT_EQ(pr.stats().hits, 0u);
+  EXPECT_GT(static_cast<double>(detoured), 1.5 * static_cast<double>(direct));
+}
+
+TEST(PhaseCache, FailureInjectionInvalidatesViaEpoch) {
+  topo::FabricConfig fc;
+  fc.kind = topo::FabricKind::kMixNet;
+  fc.n_servers = 4;
+  fc.region_servers = 4;
+  auto fabric = topo::Fabric::build(fc);
+  PhaseRunner pr(fabric);
+  const TimeNs healthy = pr.send(0, 1, mib(100));
+
+  const auto epoch0 = fabric.epoch();
+  control::FailureManager failures(fabric);
+  failures.apply({control::FailureScenario::Kind::kOneNic, 0});
+  EXPECT_GT(fabric.epoch(), epoch0);
+  pr.set_relays(failures.relays());
+
+  const TimeNs degraded = pr.send(0, 1, mib(100));
+  EXPECT_EQ(pr.stats().hits, 0u);
+  EXPECT_GE(degraded, healthy);
+}
+
+TEST(PhaseCache, LruBoundEvictsOldest) {
+  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 8});
+  PhaseRunner pr(fabric, {}, /*cache_capacity=*/2);
+  pr.send(0, 1, mib(1));
+  pr.send(0, 2, mib(1));
+  pr.send(0, 3, mib(1));  // evicts the (0,1) entry
+  EXPECT_EQ(pr.stats().entries, 2u);
+  pr.send(0, 1, mib(1));
+  EXPECT_EQ(pr.stats().hits, 0u);
+  EXPECT_EQ(pr.stats().misses, 4u);
+  pr.send(0, 3, mib(1));  // still resident
+  EXPECT_EQ(pr.stats().hits, 1u);
+}
+
+// A repeated-demand training iteration hits the cache at least once: on a
+// static fabric the PP send and DP ring repeat verbatim across iterations.
+TEST(PhaseCache, TrainingIterationRepeatedDemandHits) {
+  TrainingConfig cfg;
+  cfg.model = moe::mixtral_8x7b();
+  cfg.fabric_kind = topo::FabricKind::kFatTree;
+  cfg.par = moe::default_parallelism(cfg.model);
+  cfg.par.dp = 2;
+  cfg.par.n_microbatches = 2;
+  cfg.par_overridden = true;
+  TrainingSimulator sim(cfg);
+  sim.run_iteration();
+  const auto first = sim.phase_runner().stats();
+  sim.run_iteration();
+  const auto second = sim.phase_runner().stats();
+  EXPECT_GE(second.hits, first.hits + 1);
+}
+
+// ------------------------------------------------- matrix / demand hash ----
+
+TEST(MatrixHash, DistinguishesContentAndShape) {
+  Matrix a(3, 4, 1.0), b(3, 4, 1.0), c(4, 3, 1.0);
+  EXPECT_EQ(matrix_hash(a), matrix_hash(b));
+  EXPECT_NE(matrix_hash(a), matrix_hash(c));  // same data, different shape
+  b(2, 1) += 1e-12;
+  EXPECT_NE(matrix_hash(a), matrix_hash(b));  // bit-level sensitivity
+}
+
+// -------------------------------------- incremental vs reference solver ----
+
+// Randomized churn over a fat-tree: flows start, cancel, and complete at
+// random instants while links flap; after every mutation the incremental
+// fast path must match the from-scratch reference solve to 1e-9.
+TEST(FlowSimEquivalence, IncrementalMatchesReferenceUnderChurn) {
+  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 8});
+  net::Network& net = fabric.network();
+  net::EcmpRouter router(net);
+  eventsim::Simulator sim;
+  net::FlowSim fs(sim, net);
+  Rng rng(7);
+
+  std::vector<net::FlowId> live;
+  auto check = [&] {
+    auto ref = fs.reference_rates();
+    ASSERT_EQ(ref.size(), fs.active_flow_count());
+    for (const auto& [id, rate] : ref) {
+      const double got = fs.flow_rate(id);
+      EXPECT_NEAR(got, rate, 1e-9 * std::max(1.0, rate)) << "flow " << id;
+    }
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const double action = rng.uniform();
+    if (action < 0.55 || live.empty()) {
+      const int src = static_cast<int>(rng.uniform_int(8));
+      int dst = static_cast<int>(rng.uniform_int(8));
+      if (dst == src) dst = (dst + 1) % 8;
+      net::FlowSpec spec;
+      spec.src = fabric.server_node(src);
+      spec.dst = fabric.server_node(dst);
+      spec.size = mib(1) * (1.0 + 63.0 * rng.uniform());
+      spec.path = router.route(spec.src, spec.dst,
+                               static_cast<std::uint64_t>(step) * 2654435761u);
+      if (spec.path.empty()) continue;  // pair unreachable while links are down
+      live.push_back(fs.start_flow(std::move(spec)));
+    } else if (action < 0.8) {
+      const auto k = static_cast<std::size_t>(rng.uniform_int(live.size()));
+      fs.cancel_flow(live[k]);
+      live[k] = live.back();
+      live.pop_back();
+    } else if (action < 0.9) {
+      // Flap a random link; stalled flows must rate 0 in both solvers.
+      const auto lid = static_cast<net::LinkId>(rng.uniform_int(net.link_count()));
+      net.set_up(lid, !net.is_up(lid));
+      fs.on_topology_change();
+      router.invalidate();
+    } else {
+      // Let simulated time advance so completions interleave with churn.
+      sim.run_until(sim.now() +
+                    us_to_ns(50.0 * static_cast<double>(1 + rng.uniform_int(20))));
+      const auto still_live = fs.reference_rates();  // completed flows drop out
+      live.erase(std::remove_if(
+                     live.begin(), live.end(),
+                     [&](net::FlowId id) { return still_live.count(id) == 0; }),
+                 live.end());
+    }
+    check();
+  }
+  // Restore all links and drain: every surviving flow completes.
+  for (std::size_t l = 0; l < net.link_count(); ++l)
+    net.set_up(static_cast<net::LinkId>(l), true);
+  fs.on_topology_change();
+  sim.run();
+  EXPECT_EQ(fs.active_flow_count(), 0u);
+}
+
+TEST(FlowSimEquivalence, LinkThroughputIndexMatchesPathScan) {
+  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 8});
+  net::Network& net = fabric.network();
+  net::EcmpRouter router(net);
+  eventsim::Simulator sim;
+  net::FlowSim fs(sim, net);
+
+  struct Started {
+    net::FlowId id;
+    std::vector<net::LinkId> path;
+  };
+  std::vector<Started> flows;
+  for (int i = 0; i < 24; ++i) {
+    const int src = i % 8;
+    const int dst = (i + 3) % 8;
+    net::FlowSpec spec;
+    spec.src = fabric.server_node(src);
+    spec.dst = fabric.server_node(dst);
+    spec.size = mib(4);
+    spec.path = router.route(spec.src, spec.dst, static_cast<std::uint64_t>(i) * 31);
+    auto path = spec.path;
+    flows.push_back({fs.start_flow(std::move(spec)), std::move(path)});
+  }
+  for (std::size_t l = 0; l < net.link_count(); ++l) {
+    const auto lid = static_cast<net::LinkId>(l);
+    double expect = 0.0;
+    for (const auto& f : flows)
+      for (net::LinkId p : f.path)
+        if (p == lid) expect += fs.flow_rate(f.id);
+    EXPECT_NEAR(fs.link_throughput(lid), expect, 1e-6 * std::max(1.0, expect));
+  }
+}
+
+}  // namespace
+}  // namespace mixnet::sim

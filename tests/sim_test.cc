@@ -96,6 +96,54 @@ TEST(Runtime, RejectsEmptyGroup) {
   EXPECT_THROW(runtime::Communicator(fabric, {}), std::invalid_argument);
 }
 
+// ------------------------------------------------- copilot plan rescale ----
+
+TEST(RescalePlanColumns, ColumnsScaledIndependently) {
+  // 4 servers, one EP rank per server, 2 experts per rank.
+  Matrix seen(4, 4, 0.0);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) seen(r, c) = 1.0 + static_cast<double>(r + 4 * c);
+  const std::vector<int> rank_to_server = {0, 1, 2, 3};
+  const std::vector<double> predicted = {0.30, 0.10, 0.05, 0.05,
+                                         0.20, 0.10, 0.15, 0.05};
+  const double total = seen.sum();
+  const Matrix out = rescale_plan_columns(seen, predicted, rank_to_server, 2);
+  // Column c's sum must equal pred_col(c) * pre-rescale total, exactly the
+  // independent-column semantics (regression: the buggy version normalized
+  // against a running sum, making later columns depend on earlier ones).
+  const double pred_col[4] = {0.40, 0.10, 0.30, 0.20};
+  for (std::size_t c = 0; c < 4; ++c)
+    EXPECT_NEAR(out.col_sum(c), pred_col[c] * total, 1e-9 * total) << "col " << c;
+  // Total preserved (predicted sums to 1).
+  EXPECT_NEAR(out.sum(), total, 1e-9 * total);
+}
+
+TEST(RescalePlanColumns, ColumnOrderInvariant) {
+  // Processing order must not matter: permuting the columns (and the
+  // rank->server map accordingly) then rescaling gives the permuted result.
+  Matrix seen(3, 3, 0.0);
+  seen(0, 0) = 5.0; seen(1, 0) = 1.0; seen(2, 0) = 2.0;
+  seen(0, 1) = 0.5; seen(1, 1) = 9.0; seen(2, 1) = 3.0;
+  seen(0, 2) = 4.0; seen(1, 2) = 2.0; seen(2, 2) = 7.0;
+  const std::vector<double> predicted = {0.6, 0.3, 0.1};
+  const std::vector<int> ident = {0, 1, 2};
+  const Matrix base = rescale_plan_columns(seen, predicted, ident, 1);
+
+  const std::vector<int> perm = {2, 0, 1};  // column c of `seen` -> perm[c]
+  Matrix shuffled(3, 3, 0.0);
+  std::vector<int> perm_map(3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto pc = static_cast<std::size_t>(perm[c]);
+    for (std::size_t r = 0; r < 3; ++r) shuffled(r, pc) = seen(r, c);
+    perm_map[c] = perm[c];  // rank c's server moved with its column
+  }
+  const Matrix out = rescale_plan_columns(shuffled, predicted, perm_map, 1);
+  for (std::size_t c = 0; c < 3; ++c)
+    for (std::size_t r = 0; r < 3; ++r)
+      EXPECT_NEAR(out(r, static_cast<std::size_t>(perm[c])), base(r, c), 1e-12)
+          << "r=" << r << " c=" << c;
+}
+
 // --------------------------------------------------------- training sim ----
 
 TEST(TrainingSim, IterationCompletesOnAllFabrics) {
