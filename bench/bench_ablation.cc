@@ -1,150 +1,10 @@
-// Ablations of MixNet design choices called out in DESIGN.md:
+// Ablations of MixNet design choices called out in DESIGN.md: circuit
+// policy (hybrid-aware Algorithm 1 vs a demand-oblivious uniform circulant),
+// pure-optical allocator variants (work-conserving vs strict break, demand
+// floor), and skip-identical reconfiguration.
 //
-//   1. Circuit policy on a MixNet region (hybrid-aware Algorithm 1 vs a
-//      demand-oblivious uniform circulant), measured as actual all-to-all
-//      time on the fabric: greedy wins decisively on skewed demand and ties
-//      on near-uniform demand (where the circulant's perfect-matching
-//      fallback structure is already optimal).
-//   2. Allocator variants on a *pure-optical* fabric (no EPS fallback, the
-//      regime of the literal pseudocode): work-conserving vs strict break,
-//      and the demand floor that stops T=infinity coverage from spending
-//      the port budget on negligible pairs.
-//   3. Skip-identical reconfiguration: reusing an unchanged topology across
-//      micro-batch visits avoids needless OCS dark time.
-#include <cstdio>
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run ablation`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "control/controller.h"
-#include "figlib.h"
-#include "ocs/algorithm.h"
-#include "sim/phase_runner.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-namespace {
-
-topo::FabricConfig region8() {
-  topo::FabricConfig fc;
-  fc.kind = topo::FabricKind::kMixNet;
-  fc.n_servers = 8;
-  fc.region_servers = 8;
-  fc.nic_gbps = 100.0;
-  return fc;
-}
-
-Matrix skewed_demand() {
-  Matrix d(8, 8, mib(2));
-  for (std::size_t i = 0; i < 8; ++i) d(i, i) = 0.0;
-  d(0, 1) = d(1, 0) = mib(400);
-  d(2, 5) = d(5, 2) = mib(300);
-  d(3, 6) = d(6, 3) = mib(150);
-  return d;
-}
-
-Matrix uniform_demand() {
-  Matrix d(8, 8, mib(40));
-  for (std::size_t i = 0; i < 8; ++i) d(i, i) = 0.0;
-  return d;
-}
-
-double a2a_ms(const Matrix& demand, control::CircuitPolicy policy) {
-  auto fabric = topo::Fabric::build(region8());
-  control::ControllerConfig cc;
-  cc.policy = policy;
-  control::TopologyController ctrl(fabric, 0, cc);
-  ctrl.prepare(demand, ms_to_ns(1000));
-  sim::PhaseRunner pr(fabric);
-  return ns_to_ms(pr.ep_all_to_all({0, 1, 2, 3, 4, 5, 6, 7}, demand));
-}
-
-/// Completion-time bound of a pure-optical allocation: unserved pairs are
-/// infinite (reported as capped sentinel), served pairs d/(k*100G).
-double optical_bottleneck_ms(const Matrix& demand, const ocs::OcsTopology& topo) {
-  const Matrix sym = ocs::symmetrize_demand(demand);
-  double worst = 0.0;
-  bool unserved = false;
-  for (std::size_t i = 0; i < sym.rows(); ++i)
-    for (std::size_t j = i + 1; j < sym.cols(); ++j) {
-      if (sym(i, j) <= 0.0) continue;
-      if (topo.counts(i, j) <= 0.0)
-        unserved = true;
-      else
-        worst = std::max(worst, sym(i, j) / (topo.counts(i, j) * gbps(100)));
-    }
-  return unserved ? -1.0 : worst * 1e3;
-}
-
-}  // namespace
-
-int main() {
-  benchutil::header("Ablation 1", "Circuit policy on MixNet, a2a time (ms)");
-  benchutil::row({"demand", "Algorithm 1 (hybrid)", "uniform circulant"}, 24);
-  for (const auto& [name, d] :
-       std::vector<std::pair<std::string, Matrix>>{{"skewed", skewed_demand()},
-                                                   {"near-uniform", uniform_demand()}}) {
-    benchutil::row({name, fmt(a2a_ms(d, control::CircuitPolicy::kGreedy), 2),
-                    fmt(a2a_ms(d, control::CircuitPolicy::kUniform), 2)},
-                   24);
-  }
-
-  benchutil::header("Ablation 2",
-                    "Pure-optical allocator variants (no EPS fallback)");
-  benchutil::row({"variant", "circuits", "bottleneck (ms)"}, 26);
-  const Matrix dense = uniform_demand();
-  {
-    ocs::ReconfigureOptions strict;
-    strict.work_conserving = false;
-    strict.circuit_bps = gbps(100);
-    const auto t = ocs::reconfigure_ocs(dense, 6, strict);
-    const double b = optical_bottleneck_ms(dense, t);
-    benchutil::row({"strict pseudocode", std::to_string(t.total_circuits),
-                    b < 0 ? "unserved pairs!" : fmt(b, 2)},
-                   26);
-  }
-  {
-    ocs::ReconfigureOptions wc;
-    wc.circuit_bps = gbps(100);
-    const auto t = ocs::reconfigure_ocs(dense, 6, wc);
-    const double b = optical_bottleneck_ms(dense, t);
-    benchutil::row({"work-conserving", std::to_string(t.total_circuits),
-                    b < 0 ? "unserved pairs!" : fmt(b, 2)},
-                   26);
-  }
-  {
-    // Demand floor on a skewed matrix: without it, coverage of negligible
-    // pairs starves the hot pair of parallel circuits.
-    for (double floor : {0.0, 0.05}) {
-      ocs::ReconfigureOptions o;
-      o.circuit_bps = gbps(100);
-      o.demand_floor_frac = floor;
-      const auto t = ocs::reconfigure_ocs(skewed_demand(), 6, o);
-      benchutil::row({"floor=" + fmt(floor, 2) + " (skewed)",
-                      std::to_string(t.total_circuits),
-                      "hot pair circuits: " +
-                          fmt(t.counts(0, 1), 0)},
-                     26);
-    }
-  }
-
-  benchutil::header("Ablation 3",
-                    "Skip-identical reconfiguration (stable demand, 10 visits)");
-  benchutil::row({"skip_identical", "reconfigs", "blocked (ms)"}, 18);
-  for (bool skip : {true, false}) {
-    auto fabric = topo::Fabric::build(region8());
-    control::ControllerConfig cc;
-    cc.skip_identical = skip;
-    cc.reconfig_delay = ms_to_ns(25);
-    control::TopologyController ctrl(fabric, 0, cc);
-    const Matrix d = skewed_demand();
-    for (int visit = 0; visit < 10; ++visit) ctrl.prepare(d, ms_to_ns(10));
-    benchutil::row({skip ? "on" : "off", std::to_string(ctrl.reconfig_count()),
-                    fmt(ns_to_ms(ctrl.total_blocked()), 1)},
-                   18);
-  }
-  std::printf("\nHybrid-aware Algorithm 1 wins on skewed demand and never loses on\n"
-              "uniform demand; on pure-optical fabrics the strict pseudocode\n"
-              "strands ports and the demand floor is what concentrates circuits\n"
-              "on hot pairs.\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("ablation"); }

@@ -3,26 +3,9 @@
 //
 // Paper shape: Mixtral 8x7B is TP-dominated (~60%) with EP second (~30%);
 // LLaMA-MoE and Qwen-MoE (TP degree 1) are EP-dominated (>80%).
-#include <cstdio>
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig02`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "moe/models.h"
-#include "moe/traffic.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-int main() {
-  benchutil::header("Figure 2", "Traffic volume share per parallelism (%)");
-  benchutil::row({"Model", "TP", "EP", "PP", "DP", "total GB/iter"});
-  for (const auto& m : {moe::mixtral_8x7b(), moe::llama_moe(), moe::qwen_moe()}) {
-    const auto p = moe::default_parallelism(m);
-    const auto v = moe::iteration_traffic(m, p);
-    const double t = v.total();
-    benchutil::row({m.name, fmt(100.0 * v.tp / t, 1), fmt(100.0 * v.ep / t, 1),
-                    fmt(100.0 * v.pp / t, 1), fmt(100.0 * v.dp / t, 1),
-                    fmt(t / 1e9, 1)});
-  }
-  std::printf("\nPaper: Mixtral TP~60%%/EP~30%%; LLaMA-MoE & Qwen-MoE EP>80%%.\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig02"); }

@@ -5,37 +5,9 @@
 // (so a 25 ms OCS reconfiguration hides inside a compute window); the two
 // all-to-alls occupy 33-55% of the Mixtral block (42-58% LLaMA-MoE, up to
 // ~68% Qwen-MoE).
-#include <cstdio>
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig03`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "figlib.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-int main() {
-  for (const auto& model : {moe::mixtral_8x7b(), moe::llama_moe(), moe::qwen_moe()}) {
-    benchutil::header(model.name == "Mixtral 8x7B" ? "Figure 3" : "Figure 17",
-                      model.name + " MoE-block timeline, 400 Gbps (ms)");
-    benchutil::row({"mbs", "attn", "gate", "a2a#1", "expert", "a2a#2", "norm",
-                    "a2a share"},
-                   12);
-    for (int mbs : {8, 16, 24, 32}) {
-      auto cfg = benchutil::sim_config(model, topo::FabricKind::kMixNet, 400.0);
-      cfg.par.micro_batch = mbs;
-      sim::TrainingSimulator simulator(cfg);
-      simulator.run_iteration();
-      const auto& t = simulator.layer_timeline();
-      const double a2a_share =
-          static_cast<double>(t.a2a1 + t.a2a2) / static_cast<double>(t.total());
-      benchutil::row({std::to_string(mbs), fmt(ns_to_ms(t.attention), 1),
-                      fmt(ns_to_ms(t.gate), 2), fmt(ns_to_ms(t.a2a1), 1),
-                      fmt(ns_to_ms(t.expert), 1), fmt(ns_to_ms(t.a2a2), 1),
-                      fmt(ns_to_ms(t.add_norm), 2), fmt(100.0 * a2a_share, 1) + "%"},
-                     12);
-    }
-  }
-  std::printf("\nPaper: Mixtral a2a share 33-55%%, expert comp >100 ms at mbs 8;\n"
-              "LLaMA-MoE 42-58%%; Qwen-MoE up to ~68%%.\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig03"); }

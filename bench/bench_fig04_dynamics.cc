@@ -3,73 +3,9 @@
 //       its variability decreases as the load-balancing loss converges;
 //   (b) spatial: the rank-to-rank matrix stays sparse and non-uniform even
 //       after the overall volumes converge.
-#include <cstdio>
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig04`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "common/stats.h"
-#include "moe/gate.h"
-#include "moe/models.h"
-#include "moe/traffic.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-int main() {
-  const auto model = moe::mixtral_8x7b();
-  const auto par = moe::default_parallelism(model);
-  moe::GateConfig gc;
-  gc.n_experts = model.n_experts;
-  gc.n_layers = 4;
-  gc.ep_ranks = par.ep;
-  gc.tokens_per_rank = par.tokens_per_microbatch() * model.top_k / par.ep;
-  gc.lb_timescale = 2000.0;
-  moe::GateSimulator gate(gc);
-
-  benchutil::header("Figure 4a", "Per-expert all-to-all volume over training (MB)");
-  benchutil::row({"iter", "E0", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "CoV"}, 9);
-  const double bytes_per_slot = model.hidden_dim * 2.0;
-  std::vector<double> early_cov, late_cov;
-  for (int iter = 0; iter <= 10000; ++iter) {
-    gate.step();
-    const auto& load = gate.expert_load(1);
-    std::vector<double> mb(load.size());
-    for (std::size_t e = 0; e < load.size(); ++e)
-      mb[e] = load[e] * gc.tokens_per_rank * par.ep * bytes_per_slot / 1e6;
-    const double cov = coeff_of_variation(mb);
-    if (iter < 500) early_cov.push_back(cov);
-    if (iter > 9500) late_cov.push_back(cov);
-    if (iter % 1250 == 0) {
-      std::vector<std::string> cells = {std::to_string(iter)};
-      for (double v : mb) cells.push_back(fmt(v, 1));
-      cells.push_back(fmt(cov, 3));
-      benchutil::row(cells, 9);
-    }
-  }
-  std::printf("mean CoV early (<500 iter): %.3f   late (>9500 iter): %.3f"
-              "   (paper: variability decreases)\n",
-              mean(early_cov), mean(late_cov));
-
-  benchutil::header("Figure 4b", "Rank-to-rank dispatch matrix sparsity");
-  benchutil::row({"iteration", "sparsity(<10% max)", "max/mean"}, 24);
-  moe::GateSimulator gate2(gc);
-  for (int target : {0, 2500, 7500, 9999}) {
-    while (gate2.iteration() < target) gate2.step();
-    if (target == 0) gate2.step();
-    const Matrix t = gate2.rank_dispatch_matrix(1, bytes_per_slot);
-    double mx = 0.0, sum = 0.0;
-    std::size_t cells = 0;
-    for (std::size_t i = 0; i < t.rows(); ++i)
-      for (std::size_t j = 0; j < t.cols(); ++j) {
-        if (i == j) continue;
-        mx = std::max(mx, t(i, j));
-        sum += t(i, j);
-        ++cells;
-      }
-    benchutil::row({std::to_string(target), fmt(moe::matrix_sparsity(t, 0.1), 2),
-                    fmt(mx / (sum / cells), 2)},
-                   24);
-  }
-  std::printf("\nPaper: matrices stay non-uniform (hot pairs) across iterations\n"
-              "even as total volumes converge.\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig04"); }

@@ -1,56 +1,9 @@
 // Figure 5: cluster-wide GPU-to-GPU traffic matrix of Mixtral 8x7B on 128
 // GPUs (EP8 x TP4 x PP4), showing strong locality: all-to-all traffic stays
 // within an EP group (one PP stage); only PP/DP volume crosses blocks.
-#include <cstdio>
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig05`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "moe/gate.h"
-#include "moe/models.h"
-#include "moe/placement.h"
-#include "moe/traffic.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-int main() {
-  const auto model = moe::mixtral_8x7b();
-  auto par = moe::default_parallelism(model);
-  par.dp = 1;
-  const moe::Placement placement(par, 8);
-
-  moe::GateConfig gc;
-  gc.n_experts = model.n_experts;
-  gc.n_layers = model.n_blocks;
-  gc.ep_ranks = par.ep;
-  gc.tokens_per_rank = par.tokens_per_microbatch() * model.top_k / par.ep;
-  moe::GateSimulator gate(gc);
-  gate.step();
-
-  std::vector<Matrix> mats;
-  for (int l = 0; l < model.n_blocks; ++l)
-    mats.push_back(gate.rank_dispatch_matrix(l, model.hidden_dim * 2.0));
-  const Matrix gpu = moe::gpu_traffic_matrix(model, par, placement, mats);
-
-  benchutil::header("Figure 5", "128-GPU traffic matrix: per-32-GPU-block volume (GB)");
-  const int block = par.ep * par.tp;  // 32 GPUs per EP group
-  const int blocks = par.total_gpus() / block;
-  std::vector<std::string> head = {""};
-  for (int b = 0; b < blocks; ++b) head.push_back("blk" + std::to_string(b));
-  benchutil::row(head, 12);
-  for (int bi = 0; bi < blocks; ++bi) {
-    std::vector<std::string> cells = {"blk" + std::to_string(bi)};
-    for (int bj = 0; bj < blocks; ++bj) {
-      double v = 0.0;
-      for (int i = bi * block; i < (bi + 1) * block; ++i)
-        for (int j = bj * block; j < (bj + 1) * block; ++j)
-          v += gpu(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
-      cells.push_back(fmt(v / 1e9, 1));
-    }
-    benchutil::row(cells, 12);
-  }
-  std::printf("\nblock locality (fraction of volume within 32-GPU EP blocks): %.3f\n",
-              moe::block_locality(gpu, block));
-  std::printf("Paper: strong diagonal locality -- EP all-to-all never crosses\n"
-              "MoE-block (PP stage) boundaries.\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig05"); }

@@ -1,66 +1,11 @@
 // Figure 10: testbed experiment -- end-to-end training iteration time on the
 // 32-GPU / 4-server prototype (truncated models, 100 Gbps ConnectX-6 NICs).
 //
-//   * EPS baseline: all 4 NICs per server in a non-blocking electrical fabric
-//     (16 electrical ports).
-//   * MixNet: 1 NIC on EPS + 3 NICs on a Polatis-class OCS (12 optical +
-//     4 electrical ports), reconfigured in-training.
-//
 // Paper shape: MixNet achieves iteration time comparable to the 4x100G EPS
 // baseline despite using fewer electrical ports.
-#include <cstdio>
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig10`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "figlib.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-namespace {
-
-struct TestbedModel {
-  moe::MoeModelConfig model;
-  int layers;  // truncated depth that fits 32 A100s (§C)
-  int ep, tp, pp;
-};
-
-sim::TrainingConfig testbed_config(const TestbedModel& tm, bool mixnet) {
-  sim::TrainingConfig cfg;
-  cfg.model = tm.model;
-  cfg.model.n_blocks = tm.layers;
-  cfg.par.ep = tm.ep;
-  cfg.par.tp = tm.tp;
-  cfg.par.pp = tm.pp;
-  cfg.par.micro_batch = 8;
-  cfg.par.n_microbatches = 4;
-  cfg.par_overridden = true;
-  cfg.fabric_kind = mixnet ? topo::FabricKind::kMixNet : topo::FabricKind::kFatTree;
-  cfg.nic_gbps = 100.0;
-  cfg.nics_per_server = 4;
-  cfg.eps_nics = 1;       // MixNet prototype: 1 EPS + 3 OCS NICs
-  cfg.optical_degree = 3;
-  // Commodity A100 servers with 4 NVLink bridges (not a full NVSwitch).
-  cfg.nvlink_gbps_per_gpu = 2400.0;
-  return cfg;
-}
-
-}  // namespace
-
-int main() {
-  benchutil::header("Figure 10", "Testbed iteration time, 32 GPUs (s)");
-  benchutil::row({"Model", "EPS 4x100G", "MixNet (1 EPS + 3 OCS)", "ratio"});
-  const std::vector<TestbedModel> models = {
-      {moe::mixtral_8x7b(), 7, 8, 4, 1},
-      {moe::qwen_moe(), 12, 16, 1, 2},
-      {moe::llama_moe(), 16, 16, 1, 2},
-  };
-  for (const auto& tm : models) {
-    const double eps = benchutil::measure_iteration_sec(testbed_config(tm, false), 2);
-    const double mix = benchutil::measure_iteration_sec(testbed_config(tm, true), 2);
-    benchutil::row({tm.model.name, fmt(eps, 2), fmt(mix, 2), fmt(mix / eps, 3)});
-  }
-  std::printf("\nPaper: MixNet comparable to the ideal EPS baseline (ratio ~1)\n"
-              "while using 12 optical + 4 electrical ports instead of 16\n"
-              "electrical ports.\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig10"); }

@@ -1,41 +1,11 @@
 // Figure 11: networking cost (M$) vs cluster size at 100/200/400/800 Gbps
 // for the five evaluated interconnects.
 //
-// Paper shape: fat-tree and rail-optimized are the most expensive (rail
-// slightly below fat-tree); the over-subscribed fat-tree sits in the middle;
-// MixNet roughly halves the cost of the non-blocking fabrics (the gap grows
-// with bandwidth); TopoOpt is cheapest at 1024 GPUs but loses its edge once
-// a multi-tier patch panel with long-reach optics is needed.
-#include <cstdio>
+// Paper shape: MixNet roughly halves the cost of the non-blocking fabrics;
+// TopoOpt is cheapest only at 1024 GPUs.
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig11`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "cost/cost_model.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-int main() {
-  const std::vector<topo::FabricKind> kinds = {
-      topo::FabricKind::kFatTree, topo::FabricKind::kRailOptimized,
-      topo::FabricKind::kOverSubFatTree, topo::FabricKind::kTopoOpt,
-      topo::FabricKind::kMixNet};
-  for (int gbps : {100, 200, 400, 800}) {
-    benchutil::header("Figure 11 (" + std::to_string(gbps) + " Gbps)",
-                      "Networking cost (M$) vs cluster size");
-    std::vector<std::string> head = {"# GPUs"};
-    for (auto k : kinds) head.emplace_back(topo::to_string(k));
-    benchutil::row(head, 20);
-    for (int gpus : {1024, 2048, 4096, 8192, 16384, 32768}) {
-      std::vector<std::string> cells = {std::to_string(gpus)};
-      for (auto k : kinds)
-        cells.push_back(fmt(cost::fabric_cost_musd(k, gpus, gbps), 2));
-      benchutil::row(cells, 20);
-    }
-    const double ratio = cost::fabric_cost_musd(topo::FabricKind::kFatTree, 8192, gbps) /
-                         cost::fabric_cost_musd(topo::FabricKind::kMixNet, 8192, gbps);
-    std::printf("fat-tree / MixNet cost ratio @8192 GPUs: %.2fx\n", ratio);
-  }
-  std::printf("\nPaper: MixNet ~2.0x cheaper than fat-tree on average (2.3x at\n"
-              "400 Gbps); TopoOpt slightly cheaper only at 1024 GPUs.\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig11"); }

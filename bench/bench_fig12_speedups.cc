@@ -2,40 +2,11 @@
 // MoE models on a 1024-GPU cluster (128 servers), five fabrics.
 //
 // Paper shape: MixNet tracks the non-blocking fat-tree and rail-optimized
-// closely; TopoOpt trails by ~1.3-1.5x (static topology cannot follow the
-// traffic); the 3:1 over-subscribed fat-tree is worst at low bandwidth; all
-// gaps narrow as bandwidth grows (compute-bound regime).
-#include <cstdio>
+// closely; TopoOpt trails by ~1.3-1.5x; the 3:1 over-subscribed fat-tree is
+// worst at low bandwidth; all gaps narrow as bandwidth grows.
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig12`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "figlib.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-int main() {
-  for (const auto& model : moe::simulation_models()) {
-    benchutil::header("Figure 12", model.name +
-                                       " normalized iteration time (1024 GPUs)");
-    std::vector<std::string> head = {"Gbps"};
-    for (auto k : benchutil::evaluated_fabrics()) head.emplace_back(topo::to_string(k));
-    benchutil::row(head, 20);
-
-    // Normalize to fat-tree at the highest bandwidth (the paper's "1.0").
-    const double ref = benchutil::measure_iteration_sec(
-        benchutil::sim_config(model, topo::FabricKind::kFatTree, 800.0));
-    for (double gbps : {100.0, 200.0, 400.0, 800.0}) {
-      std::vector<std::string> cells = {fmt(gbps, 0)};
-      for (auto k : benchutil::evaluated_fabrics()) {
-        const double t =
-            benchutil::measure_iteration_sec(benchutil::sim_config(model, k, gbps));
-        cells.push_back(fmt(t / ref, 3));
-      }
-      benchutil::row(cells, 20);
-    }
-  }
-  std::printf("\nPaper: MixNet ~= fat-tree ~= rail-optimized; MixNet beats\n"
-              "TopoOpt by 1.3-1.5x and oversubscribed fat-tree by up to 1.6x;\n"
-              "gaps shrink with bandwidth.\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig12"); }

@@ -1,70 +1,13 @@
 // Figure 13: performance-cost Pareto analysis. For each model, every
 // (fabric, bandwidth) point is plotted as relative networking cost vs
-// relative performance (inverse normalized iteration time); the derived
-// performance-per-dollar is the paper's headline cost-efficiency metric.
+// relative performance; the derived performance-per-dollar is the paper's
+// headline cost-efficiency metric.
 //
-// Paper shape: MixNet defines the Pareto front; at 100 Gbps it is 1.2-1.5x
-// more cost-efficient than fat-tree (1.4-1.5x vs rail-optimized), growing to
-// 1.9-2.3x (2.3-2.4x) at 400 Gbps.
-#include <cstdio>
-#include <map>
+// Paper shape: MixNet defines the Pareto front; 1.2-1.5x more cost-efficient
+// than fat-tree at 100 Gbps, growing to 1.9-2.3x at 400 Gbps.
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig13`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "cost/cost_model.h"
-#include "figlib.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-int main() {
-  const std::vector<double> bandwidths = {100.0, 200.0, 400.0, 800.0};
-  for (const auto& model : moe::simulation_models()) {
-    benchutil::header("Figure 13", model.name + " relative cost vs performance");
-    benchutil::row({"Fabric", "Gbps", "rel.cost", "rel.perf", "perf/$ (rel)"}, 20);
-
-    // Gather all points first to normalize against the maxima.
-    struct Point {
-      topo::FabricKind kind;
-      double gbps, cost, time;
-    };
-    std::vector<Point> pts;
-    double max_cost = 0.0, min_time = 1e300;
-    for (auto k : benchutil::evaluated_fabrics()) {
-      for (double g : bandwidths) {
-        Point p;
-        p.kind = k;
-        p.gbps = g;
-        p.cost = cost::fabric_cost_musd(k, 1024, static_cast<int>(g));
-        p.time = benchutil::measure_iteration_sec(benchutil::sim_config(model, k, g));
-        max_cost = std::max(max_cost, p.cost);
-        min_time = std::min(min_time, p.time);
-        pts.push_back(p);
-      }
-    }
-    std::map<topo::FabricKind, double> best_ppd;
-    for (const auto& p : pts) {
-      const double rel_cost = p.cost / max_cost;
-      const double rel_perf = min_time / p.time;
-      const double ppd = rel_perf / rel_cost;
-      best_ppd[p.kind] = std::max(best_ppd[p.kind], ppd);
-      benchutil::row({topo::to_string(p.kind), fmt(p.gbps, 0), fmt(rel_cost, 3),
-                      fmt(rel_perf, 3), fmt(ppd, 2)},
-                     20);
-    }
-    // Per-bandwidth cost-efficiency ratios vs the baselines (paper numbers).
-    for (double g : {100.0, 400.0}) {
-      auto ppd_of = [&](topo::FabricKind k) {
-        for (const auto& p : pts)
-          if (p.kind == k && p.gbps == g) return (min_time / p.time) / (p.cost / max_cost);
-        return 0.0;
-      };
-      std::printf("  @%3.0fG: MixNet perf/$ = %.2fx fat-tree, %.2fx rail-optimized\n",
-                  g, ppd_of(topo::FabricKind::kMixNet) / ppd_of(topo::FabricKind::kFatTree),
-                  ppd_of(topo::FabricKind::kMixNet) /
-                      ppd_of(topo::FabricKind::kRailOptimized));
-    }
-  }
-  std::printf("\nPaper: MixNet 1.2-1.5x (100G) and 1.9-2.3x (400G) higher\n"
-              "cost-efficiency than fat-tree; defines the Pareto front.\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig13"); }

@@ -2,41 +2,11 @@
 // NIC and GPU/server failures (Mixtral 8x22B and DeepSeek-R1, 1024 GPUs,
 // 400 Gbps).
 //
-// Paper shape: one NIC failure +0.3-1.4%; two NIC failures (optical detour
-// to a peer's EPS) +3.3-5.4%; one GPU failure (backup GPU, TP over
-// scale-out) +2.9-5.1%; full server replacement (EPS-only node) +6.5-12.8%.
-#include <cstdio>
+// Paper shape: one NIC failure +0.3-1.4%; two NIC failures +3.3-5.4%; one
+// GPU failure +2.9-5.1%; full server replacement +6.5-12.8%.
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig14`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "figlib.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-int main() {
-  using Kind = control::FailureScenario::Kind;
-  const std::vector<std::pair<Kind, const char*>> scenarios = {
-      {Kind::kNone, "No failure"},
-      {Kind::kOneNic, "One NIC failure"},
-      {Kind::kTwoNic, "Two NIC failures"},
-      {Kind::kOneGpu, "One GPU failure"},
-      {Kind::kServerDown, "One server (8 GPUs) failure"},
-  };
-  for (const auto& model : {moe::mixtral_8x22b(), moe::deepseek_r1()}) {
-    benchutil::header("Figure 14", model.name + " under failures (400 Gbps)");
-    benchutil::row({"Scenario", "iter (s)", "overhead"}, 30);
-    double baseline = 0.0;
-    for (const auto& [kind, label] : scenarios) {
-      auto cfg = benchutil::sim_config(model, topo::FabricKind::kMixNet, 400.0);
-      cfg.failure = {kind, 0};
-      const double t = benchutil::measure_iteration_sec(cfg, 2);
-      if (kind == Kind::kNone) baseline = t;
-      benchutil::row({label, fmt(t, 2),
-                      "+" + fmt(100.0 * (t - baseline) / baseline, 1) + "%"},
-                     30);
-    }
-  }
-  std::printf("\nPaper: NIC failures +0.3%%..+5.4%%; GPU failure +2.9%%..+5.1%%;\n"
-              "full-server replacement +6.5%%..+12.8%%.\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig14"); }

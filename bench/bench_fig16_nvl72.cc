@@ -1,61 +1,12 @@
 // Figure 16: look-ahead (§8) -- MixNet with co-packaged optical I/O vs a
-// GB200 NVL72 cluster, 2048 GPUs training DeepSeek-V3 (EP128, PP16).
-//
-// The total GPU I/O budget is matched: NVL72 spends it as 7.2 Tbps NVLink +
-// 800 Gbps Ethernet; MixNet keeps the Ethernet and splits the rest equally
-// between NVLink and a regional OCS fed by on-chip optical ports.
+// GB200 NVL72 cluster, 2048 GPUs training DeepSeek-V3 (EP128, PP16), with a
+// matched total GPU I/O budget.
 //
 // Paper shape: MixNet (w/ optical I/O) lowers iteration time by ~1.3x at
 // 8 Tbps total I/O and keeps winning at 16 Tbps.
-#include <cstdio>
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig16`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "figlib.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-namespace {
-
-sim::TrainingConfig nvl_config(double total_io_tbps, bool optical_io) {
-  sim::TrainingConfig cfg;
-  cfg.model = moe::deepseek_v3();
-  cfg.par = moe::default_parallelism(cfg.model);
-  cfg.par.micro_batch = 240;  // §8 setup
-  cfg.par.n_microbatches = 2;
-  cfg.par_overridden = true;
-  cfg.gpus_per_server = 64;  // one NVL72 domain (64 usable GPUs)
-  cfg.nic_gbps = 800.0;
-  const double remaining_gbps = total_io_tbps * 1000.0 - 800.0;
-  if (!optical_io) {
-    cfg.fabric_kind = topo::FabricKind::kNvl72;
-    cfg.nics_per_server = 64;  // one 800G NIC per GPU
-    cfg.nvlink_gbps_per_gpu = remaining_gbps;
-  } else {
-    cfg.fabric_kind = topo::FabricKind::kMixNetOpticalIO;
-    cfg.nics_per_server = 96;  // 64 Ethernet + 32 optical ports per domain
-    cfg.eps_nics = 64;
-    cfg.nvlink_gbps_per_gpu = remaining_gbps / 2.0;
-    cfg.ocs_nic_gbps = remaining_gbps / 2.0 * 64.0 / 32.0;
-  }
-  return cfg;
-}
-
-}  // namespace
-
-int main() {
-  benchutil::header("Figure 16", "NVL72 vs MixNet w/ optical I/O, DeepSeek-V3, "
-                                 "2048 GPUs");
-  benchutil::row({"Total GPU I/O", "NVL72 (s)", "MixNet optical I/O (s)", "speedup"},
-                 26);
-  for (double tbps : {8.0, 16.0}) {
-    const double nvl = benchutil::measure_iteration_sec(nvl_config(tbps, false));
-    const double mix = benchutil::measure_iteration_sec(nvl_config(tbps, true));
-    benchutil::row({fmt(tbps, 0) + " Tbps", fmt(nvl, 2), fmt(mix, 2),
-                    fmt(nvl / mix, 2) + "x"},
-                   26);
-  }
-  std::printf("\nPaper: MixNet (w/ optical I/O) ~1.3x faster at 8 Tbps; gains\n"
-              "persist at 16 Tbps.\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig16"); }

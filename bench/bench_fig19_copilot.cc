@@ -1,75 +1,12 @@
 // Figure 19: MixNet-Copilot traffic-demand prediction accuracy (§B.1).
 //
 // Top-K accuracy of predicting the next layer's expert load distribution,
-// against the "random" (uniform bandwidth allocation) and "unchanged"
-// (reuse previous layer) baselines, on gate-simulator traces.
+// against the "random" and "unchanged" baselines, on gate-simulator traces.
 //
 // Paper shape: Copilot > Unchanged > Random at every K in 1..4.
-#include <cstdio>
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig19`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "common/rng.h"
-#include "moe/gate.h"
-#include "moe/models.h"
-#include "predict/copilot.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-int main() {
-  const auto model = moe::mixtral_8x7b();
-  const auto par = moe::default_parallelism(model);
-  moe::GateConfig gc;
-  gc.n_experts = model.n_experts;
-  gc.n_layers = 6;
-  gc.ep_ranks = par.ep;
-  gc.tokens_per_rank = par.tokens_per_microbatch() * model.top_k / par.ep;
-  gc.seed = 7;
-  moe::GateSimulator gate(gc);
-
-  predict::CopilotConfig cc;
-  cc.n_experts = model.n_experts;
-  cc.resolve_every = 2;
-  // One Copilot per layer boundary, as in the paper (per-layer matrices).
-  std::vector<predict::Copilot> copilots;
-  for (int l = 1; l < gc.n_layers; ++l) copilots.emplace_back(cc);
-
-  Rng rng(99);
-  const int warmup = 40, evals = 200;
-  std::vector<double> acc_cp(5, 0.0), acc_unchanged(5, 0.0), acc_random(5, 0.0);
-  int counted = 0;
-  for (int iter = 0; iter < warmup + evals; ++iter) {
-    gate.step();
-    for (int l = 1; l < gc.n_layers; ++l) {
-      const auto& x = gate.expert_load(l - 1);
-      const auto& y = gate.expert_load(l);
-      auto& cp = copilots[static_cast<std::size_t>(l - 1)];
-      if (iter >= warmup) {
-        for (int k = 1; k <= 4; ++k) {
-          acc_cp[static_cast<std::size_t>(k)] +=
-              predict::top_k_accuracy(cp.predict(x), y, k);
-          acc_unchanged[static_cast<std::size_t>(k)] +=
-              predict::top_k_accuracy(x, y, k);
-          acc_random[static_cast<std::size_t>(k)] += predict::top_k_accuracy(
-              predict::random_prediction(x.size(), rng), y, k);
-        }
-        ++counted;
-      }
-      cp.observe(x, y);
-    }
-  }
-  const double denom = static_cast<double>(counted);
-
-  benchutil::header("Figure 19", "Copilot top-K prediction accuracy");
-  benchutil::row({"Top K", "Random", "Unchanged", "MixNet-Copilot"}, 18);
-  for (int k = 1; k <= 4; ++k) {
-    benchutil::row({std::to_string(k),
-                    fmt(acc_random[static_cast<std::size_t>(k)] / denom, 3),
-                    fmt(acc_unchanged[static_cast<std::size_t>(k)] / denom, 3),
-                    fmt(acc_cp[static_cast<std::size_t>(k)] / denom, 3)},
-                   18);
-  }
-  std::printf("\nPaper: Copilot significantly more accurate than both baselines,\n"
-              "enabling proactive reconfiguration for the FP's first all-to-all.\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig19"); }

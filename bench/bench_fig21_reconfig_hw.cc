@@ -7,64 +7,9 @@
 // Paper numbers: means 41.44 / 42.44 / 46.75 ms, p99 ~60/62/68 ms, 99% under
 // 70 ms; NIC activation mean 5.67 s, p99 6.33 s (excluded from training
 // accounting, §C).
-#include <cstdio>
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig21`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "common/rng.h"
-#include "common/stats.h"
-#include "ocs/hardware.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-int main() {
-  ocs::HardwareModel hw;
-  Rng rng(2025);
-
-  benchutil::header("Figure 21", "OCS reconfiguration delay (ms)");
-  benchutil::row({"pairs", "mean", "p50", "p90", "p99", "max"}, 12);
-  for (int pairs : {1, 4, 16}) {
-    std::vector<double> xs(20000);
-    for (auto& x : xs) x = ns_to_ms(hw.sample_reconfig_delay(pairs, rng));
-    benchutil::row({std::to_string(pairs), fmt(mean(xs), 2), fmt(percentile(xs, 0.5), 2),
-                    fmt(percentile(xs, 0.9), 2), fmt(percentile(xs, 0.99), 2),
-                    fmt(percentile(xs, 1.0), 2)},
-                   12);
-  }
-
-  benchutil::header("Figure 22", "One OCS control operation timeline (ms)");
-  benchutil::row({"segment", "mean", "share"}, 22);
-  std::vector<double> cmd, sw, xcvr, nic, total;
-  for (int i = 0; i < 5000; ++i) {
-    const auto t = hw.sample_control_timeline(4, rng);
-    cmd.push_back(ns_to_ms(t.command));
-    sw.push_back(ns_to_ms(t.ocs_reconfig));
-    xcvr.push_back(ns_to_ms(t.transceiver_init));
-    nic.push_back(ns_to_ms(t.nic_init));
-    total.push_back(ns_to_ms(t.total()));
-  }
-  const double tot = mean(total);
-  benchutil::row({"TL1 command", fmt(mean(cmd), 1), fmt(100 * mean(cmd) / tot, 1) + "%"},
-                 22);
-  benchutil::row({"OCS reconfiguration", fmt(mean(sw), 1),
-                  fmt(100 * mean(sw) / tot, 1) + "%"},
-                 22);
-  benchutil::row({"Transceiver init", fmt(mean(xcvr), 1),
-                  fmt(100 * mean(xcvr) / tot, 1) + "%"},
-                 22);
-  benchutil::row({"NIC init", fmt(mean(nic), 1), fmt(100 * mean(nic) / tot, 1) + "%"},
-                 22);
-  benchutil::row({"total", fmt(tot, 1), "100%"}, 22);
-
-  benchutil::header("Figure 23", "NIC activation time after reconfiguration (s)");
-  std::vector<double> act(20000);
-  for (auto& x : act) x = ns_to_sec(hw.sample_nic_activation(rng));
-  benchutil::row({"mean", "p50", "p99"}, 12);
-  benchutil::row({fmt(mean(act), 2), fmt(percentile(act, 0.5), 2),
-                  fmt(percentile(act, 0.99), 2)},
-                 12);
-  std::printf("\nPaper: reconfig means 41.4/42.4/46.8 ms (1/4/16 pairs), 99%% <70 ms;\n"
-              "turnaround dominated by transceiver+NIC init; NIC activation mean\n"
-              "5.67 s, p99 6.33 s (excluded from training time, as in §C).\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig21"); }

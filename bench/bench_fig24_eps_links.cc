@@ -4,38 +4,9 @@
 // Paper shape: DAC/AOC shave some cost off both fabrics; MixNet's advantage
 // is orthogonal to the link choice (~2.2x cheaper than fat-tree with DAC at
 // 4096 GPUs).
-#include <cstdio>
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig24`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "cost/cost_model.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-int main() {
-  benchutil::header("Figure 24", "EPS link options, 400 Gbps, cost (M$)");
-  const std::vector<cost::EpsLinkType> links = {
-      cost::EpsLinkType::kTransceiverFiber, cost::EpsLinkType::kAoc,
-      cost::EpsLinkType::kDac};
-  std::vector<std::string> head = {"# GPUs"};
-  for (auto k : {topo::FabricKind::kFatTree, topo::FabricKind::kMixNet})
-    for (auto l : links)
-      head.push_back(std::string(topo::to_string(k)) + " " + cost::to_string(l));
-  benchutil::row(head, 26);
-  for (int gpus : {1024, 2048, 4096, 8192, 16384, 32768}) {
-    std::vector<std::string> cells = {std::to_string(gpus)};
-    for (auto k : {topo::FabricKind::kFatTree, topo::FabricKind::kMixNet})
-      for (auto l : links)
-        cells.push_back(fmt(cost::fabric_cost(k, gpus / 8, 8, 400, l).total() / 1e6, 2));
-    benchutil::row(cells, 26);
-  }
-  const double ft = cost::fabric_cost(topo::FabricKind::kFatTree, 512, 8, 400,
-                                      cost::EpsLinkType::kDac)
-                        .total();
-  const double mx = cost::fabric_cost(topo::FabricKind::kMixNet, 512, 8, 400,
-                                      cost::EpsLinkType::kDac)
-                        .total();
-  std::printf("\nfat-tree / MixNet with DAC @4096 GPUs: %.2fx  (paper: ~2.2x)\n",
-              ft / mx);
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig24"); }

@@ -2,50 +2,10 @@
 //
 // Paper shape: with bigger batches training becomes more communication-
 // intensive, so MixNet's lead over TopoOpt grows (1.8x at batch 32, 2.0x at
-// batch 64 for Mixtral 8x7B) and the curves approach fat-tree/rail as
-// bandwidth rises.
-#include <cstdio>
+// batch 64 for Mixtral 8x7B).
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig25`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "figlib.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-int main() {
-  const std::vector<topo::FabricKind> kinds = {
-      topo::FabricKind::kFatTree, topo::FabricKind::kRailOptimized,
-      topo::FabricKind::kTopoOpt, topo::FabricKind::kMixNet};
-  for (const auto& model : {moe::mixtral_8x22b(), moe::mixtral_8x7b()}) {
-    for (int batch : {32, 64}) {
-      benchutil::header("Figure 25",
-                        model.name + " batch " + std::to_string(batch) +
-                            " normalized iteration time");
-      std::vector<std::string> head = {"Gbps"};
-      for (auto k : kinds) head.emplace_back(topo::to_string(k));
-      benchutil::row(head, 20);
-      auto make = [&](topo::FabricKind k, double g) {
-        auto cfg = benchutil::sim_config(model, k, g, /*n_microbatches=*/2);
-        cfg.par.micro_batch = batch;
-        return cfg;
-      };
-      const double ref = benchutil::measure_iteration_sec(
-          make(topo::FabricKind::kFatTree, 800.0));
-      double mix_sum = 0.0, topoopt_sum = 0.0;
-      for (double g : {100.0, 200.0, 400.0, 800.0}) {
-        std::vector<std::string> cells = {fmt(g, 0)};
-        for (auto k : kinds) {
-          const double t = benchutil::measure_iteration_sec(make(k, g));
-          if (k == topo::FabricKind::kMixNet) mix_sum += t;
-          if (k == topo::FabricKind::kTopoOpt) topoopt_sum += t;
-          cells.push_back(fmt(t / ref, 3));
-        }
-        benchutil::row(cells, 20);
-      }
-      std::printf("  average TopoOpt/MixNet: %.2fx\n", topoopt_sum / mix_sum);
-    }
-  }
-  std::printf("\nPaper: MixNet beats TopoOpt by 1.8x (batch 32) and 2.0x\n"
-              "(batch 64) on Mixtral 8x7B.\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig25"); }

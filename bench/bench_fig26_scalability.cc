@@ -3,59 +3,10 @@
 // 400 Gbps, scaling data parallelism from 1024 to 32768 GPUs.
 //
 // Paper shape: MixNet's tokens/s tracks fat-tree and rail-optimized at every
-// scale (regional OCS domains sidestep the OCS port limit), while its
-// performance-per-dollar stays ~2x higher.
-#include <cstdio>
+// scale, while its performance-per-dollar stays ~2x higher.
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig26`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "cost/cost_model.h"
-#include "figlib.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-int main() {
-  const std::vector<topo::FabricKind> kinds = {
-      topo::FabricKind::kMixNet, topo::FabricKind::kFatTree,
-      topo::FabricKind::kRailOptimized};
-  const auto model = moe::mixtral_8x7b();
-
-  benchutil::header("Figure 26a", "Normalized tokens/s vs cluster size (400 Gbps)");
-  std::vector<std::string> head = {"# GPUs"};
-  for (auto k : kinds) head.emplace_back(topo::to_string(k));
-  benchutil::row(head, 20);
-
-  std::map<std::pair<int, topo::FabricKind>, double> tput;
-  double ref = 0.0;
-  for (int gpus : {1024, 2048, 4096, 8192, 16384, 32768}) {
-    std::vector<std::string> cells = {std::to_string(gpus)};
-    for (auto k : kinds) {
-      auto cfg = benchutil::sim_config(model, k, 400.0, /*n_microbatches=*/2);
-      cfg.par.dp = gpus / cfg.par.gpus_per_replica();
-      sim::TrainingSimulator simulator(cfg);
-      const auto r = simulator.run_iteration();
-      const double tps = r.tokens_per_sec();
-      tput[{gpus, k}] = tps;
-      if (ref == 0.0) ref = tps;  // 1024-GPU MixNet = 1.0
-      cells.push_back(fmt(tps / ref, 2));
-    }
-    benchutil::row(cells, 20);
-  }
-
-  benchutil::header("Figure 26b", "Relative performance per dollar vs cluster size");
-  benchutil::row(head, 20);
-  for (int gpus : {1024, 2048, 4096, 8192, 16384, 32768}) {
-    std::vector<std::string> cells = {std::to_string(gpus)};
-    const double base =
-        tput[{gpus, topo::FabricKind::kFatTree}] /
-        cost::fabric_cost_musd(topo::FabricKind::kFatTree, gpus, 400);
-    for (auto k : kinds) {
-      const double ppd = tput[{gpus, k}] / cost::fabric_cost_musd(k, gpus, 400);
-      cells.push_back(fmt(ppd / base, 2));
-    }
-    benchutil::row(cells, 20);
-  }
-  std::printf("\nPaper: tokens/s scales linearly for all three; MixNet keeps a\n"
-              "~2x performance-per-dollar lead at every cluster size.\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig26"); }

@@ -1,35 +1,11 @@
 // Figure 27 (§D.6): impact of the optical degree alpha -- Mixtral 8x22B on
-// 128 servers at 100 Gbps. As in the paper, the comparison is
-// cost-equivalent: when alpha grows the electrical side keeps fewer NICs
-// (the 8-NIC budget is split alpha OCS : 8-alpha EPS).
+// 128 servers at 100 Gbps, cost-equivalent comparison (the 8-NIC budget is
+// split alpha OCS : 8-alpha EPS).
 //
-// Paper shape: iteration time falls monotonically as alpha rises -- more
-// communication-intensive pairs get dedicated circuits.
-#include <cstdio>
+// Paper shape: iteration time falls monotonically as alpha rises.
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig27`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "cost/cost_model.h"
-#include "figlib.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-int main() {
-  benchutil::header("Figure 27", "Mixtral 8x22B, 128 servers, 100 Gbps");
-  benchutil::row({"optical degree", "iter (s)", "normalized"}, 18);
-  const auto model = moe::mixtral_8x22b();
-  double base = 0.0;
-  for (int alpha : {1, 2, 4, 6}) {
-    auto cfg = benchutil::sim_config(model, topo::FabricKind::kMixNet, 100.0);
-    cfg.eps_nics = cfg.nics_per_server - alpha;
-    // Cost-equivalent: the electrical ports' bandwidth absorbs the budget
-    // not spent on OCS ports (§D.6 methodology).
-    cfg.nic_gbps = cost::cost_equivalent_eps_gbps(alpha, cfg.nics_per_server, 100);
-    cfg.ocs_nic_gbps = 100.0;
-    const double t = benchutil::measure_iteration_sec(cfg, 2);
-    if (base == 0.0) base = t;
-    benchutil::row({std::to_string(alpha), fmt(t, 2), fmt(t / base, 3)}, 18);
-  }
-  std::printf("\nPaper: normalized iteration time decreases with alpha (1 -> 6).\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig27"); }

@@ -1,41 +1,11 @@
 // Figure 28 (§D.7): sensitivity to OCS reconfiguration latency, Mixtral
 // 8x22B, 128 servers, 400 Gbps, delays from 1 us to 10 s.
 //
-// Paper shape: flat from microseconds through the default 25 ms (the delay
-// hides inside compute windows); degradation appears beyond ~100 ms and
-// becomes severe past 1 s, where reconfiguration can no longer be hidden.
-#include <cstdio>
+// Paper shape: flat from microseconds through the default 25 ms; degradation
+// appears beyond ~100 ms and becomes severe past 1 s.
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run fig28`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "figlib.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-
-int main() {
-  benchutil::header("Figure 28", "Mixtral 8x22B vs reconfiguration latency (400G)");
-  benchutil::row({"reconfig delay", "iter (s)", "normalized", "blocked (s)"}, 18);
-  const auto model = moe::mixtral_8x22b();
-  double base = 0.0;
-  const std::vector<std::pair<TimeNs, std::string>> delays = {
-      {us_to_ns(1), "1 us"},       {us_to_ns(10), "10 us"},
-      {us_to_ns(100), "100 us"},   {ms_to_ns(1), "1 ms"},
-      {ms_to_ns(10), "10 ms"},     {ms_to_ns(25), "25 ms (default)"},
-      {ms_to_ns(100), "100 ms"},   {sec_to_ns(1), "1 s"},
-      {sec_to_ns(10), "10 s"},
-  };
-  for (const auto& [delay, label] : delays) {
-    auto cfg = benchutil::sim_config(model, topo::FabricKind::kMixNet, 400.0);
-    cfg.reconfig_delay = delay;
-    sim::TrainingSimulator simulator(cfg);
-    const auto r = simulator.run_iteration();
-    const double t = ns_to_sec(r.total);
-    if (base == 0.0) base = t;
-    benchutil::row({label, fmt(t, 2), fmt(t / base, 3),
-                    fmt(ns_to_sec(r.reconfig_blocked), 2)},
-                   18);
-  }
-  std::printf("\nPaper: flat through tens of ms, obvious degradation beyond\n"
-              "1000 ms (second-scale OCS unusable for in-training reconfig).\n");
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("fig28"); }

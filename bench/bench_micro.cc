@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "eventsim/simulator.h"
+#include "moe/gate.h"
 #include "net/flowsim.h"
 #include "net/routing.h"
 #include "ocs/algorithm.h"
@@ -99,6 +100,63 @@ void BM_EcmpRouting(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EcmpRouting);
+
+// GateSimulator hot paths. After the phase cache + incremental rate solver,
+// ~60% of figure-bench samples are gate RNG (refresh_distributions /
+// advance_state OU walks) -- these cases are the measurement baseline for
+// the ROADMAP OU-batching item, whose correctness bar is "figure shapes
+// unchanged" (the walks draw through Rng::fill_normal, the single batched
+// entry point a vectorization would replace).
+moe::GateConfig figure_gate_config() {
+  // The dimensions the fig12/13 sweeps run: Mixtral 8x7B, one pipeline
+  // stage, EP8, ~8k token slots per rank.
+  moe::GateConfig gc;
+  gc.n_experts = 8;
+  gc.ep_ranks = 8;
+  gc.n_layers = 8;
+  gc.tokens_per_rank = 8192.0;
+  return gc;
+}
+
+/// One full gate iteration: advance_state + refresh_distributions +
+/// realize_counts.
+void BM_GateStep(benchmark::State& state) {
+  moe::GateSimulator gate(figure_gate_config());
+  for (auto _ : state) {
+    gate.step();
+    benchmark::DoNotOptimize(gate.expert_load(0).data());
+  }
+}
+BENCHMARK(BM_GateStep);
+
+/// advance_state in (near) isolation: skip(n) runs n-1 state-only advances
+/// plus one full materializing step, amortized per advanced iteration --
+/// the fast-forward pattern the 100-iteration figure-bench warmups use.
+void BM_GateAdvanceState(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  moe::GateSimulator gate(figure_gate_config());
+  for (auto _ : state) {
+    gate.skip(n);
+    benchmark::DoNotOptimize(gate.expert_load(0).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("iterations_skipped=" + std::to_string(n));
+}
+BENCHMARK(BM_GateAdvanceState)->Arg(100);
+
+/// Bulk standard-normal draws (the primitive under both gate paths).
+void BM_RngFillNormal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<double> buf(n);
+  for (auto _ : state) {
+    rng.fill_normal(buf.data(), n);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RngFillNormal)->Arg(8)->Arg(64)->Arg(4096);
 
 void BM_CopilotSolve(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -1,65 +1,8 @@
 // Tables 1-4: model/parallelism configurations, the commodity OCS trade-off,
 // the parallelism-to-fabric fit, and networking component prices.
-#include <cstdio>
+//
+// Thin wrapper: the scenario lives in the registry (src/exp/scenarios_*.cc)
+// and is also runnable as `mixnet-bench --run tables`.
+#include "exp/registry.h"
 
-#include "bench_util.h"
-#include "cost/cost_model.h"
-#include "moe/models.h"
-#include "ocs/hardware.h"
-
-using namespace mixnet;
-using benchutil::fmt;
-using benchutil::header;
-using benchutil::row;
-
-namespace {
-
-void table1() {
-  header("Table 1", "State-of-the-art MoE training configurations");
-  row({"Model", "Size(B)", "Blocks", "Experts", "top-k", "EP", "TP", "PP"});
-  for (const auto& m : {moe::mixtral_8x7b(), moe::llama_moe(), moe::qwen_moe(),
-                        moe::mixtral_8x22b(), moe::deepseek_r1()}) {
-    const auto p = moe::default_parallelism(m);
-    row({m.name, fmt(m.total_params_b, 1), std::to_string(m.n_blocks),
-         std::to_string(m.n_experts), std::to_string(m.top_k), std::to_string(p.ep),
-         std::to_string(p.tp), std::to_string(p.pp)});
-  }
-}
-
-void table2() {
-  header("Table 2", "Commodity OCS port count vs reconfiguration delay");
-  row({"Technology", "Ports", "Reconfig delay"});
-  for (const auto& t : ocs::commodity_ocs_technologies())
-    row({t.name, std::to_string(t.port_count) + "x" + std::to_string(t.port_count),
-         t.delay_note});
-}
-
-void table3() {
-  header("Table 3", "Best fit between parallelism traffic and interconnect");
-  row({"Parallelism", "Volume", "Temporal", "Spatial", "Best-fit fabric"}, 26);
-  row({"DP", "Low", "Deterministic", "Global all-reduce", "EPS (Ethernet)"}, 26);
-  row({"TP", "Highest", "Deterministic", "Local all-reduce", "NVSwitch"}, 26);
-  row({"PP", "Low", "Deterministic", "Point-to-point", "EPS (Ethernet)"}, 26);
-  row({"EP", "High", "Non-deterministic", "Regional sparse a2a", "Optical circuit"},
-      26);
-}
-
-void table4() {
-  header("Table 4", "Cost of network components (USD)");
-  row({"Bandwidth", "Transceiver", "NIC", "EPS port", "OCS port", "Patch port"});
-  for (int gbps : {100, 200, 400, 800}) {
-    const auto p = cost::prices_for(gbps);
-    row({std::to_string(gbps) + " Gbps", fmt(p.transceiver, 0), fmt(p.nic, 0),
-         fmt(p.eps_port, 0), fmt(p.ocs_port, 0), fmt(p.patch_port, 0)});
-  }
-}
-
-}  // namespace
-
-int main() {
-  table1();
-  table2();
-  table3();
-  table4();
-  return 0;
-}
+int main() { return mixnet::exp::run_scenario_main("tables"); }

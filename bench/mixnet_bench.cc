@@ -1,0 +1,146 @@
+// mixnet-bench: single CLI over the scenario registry (DESIGN.md §7).
+//
+//   mixnet-bench --list                      enumerate registered scenarios
+//   mixnet-bench --run fig13                 run one scenario (text output)
+//   mixnet-bench --run fig12,fig13 --jobs 8  run several, 8 worker threads
+//   mixnet-bench --run all --format json     every scenario, JSON to stdout
+//
+// Sweep points execute on a thread pool (--jobs); results are collected by
+// point index, so --jobs 1 and --jobs N print identical tables. Formats:
+// text (the historical figure-harness rendering), csv, json.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "exp/registry.h"
+
+namespace {
+
+using mixnet::exp::RunContext;
+using mixnet::exp::ScenarioInfo;
+using mixnet::exp::ScenarioRegistry;
+using mixnet::exp::ScenarioResult;
+
+int usage(const char* argv0, int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "Usage: %s [--list] [--run NAME[,NAME...]|all] [--jobs N]\n"
+      "          [--format text|csv|json]\n"
+      "\n"
+      "  --list         list registered scenarios and exit\n"
+      "  --run NAMES    comma-separated scenario names, or 'all'\n"
+      "  --jobs N       worker threads for sweep points (default 1)\n"
+      "  --format FMT   output format: text (default), csv, json\n",
+      argv0);
+  return code;
+}
+
+void list_scenarios() {
+  std::printf("%-10s %-20s %s\n", "name", "figure", "description");
+  for (const auto& s : ScenarioRegistry::paper().scenarios())
+    std::printf("%-10s %-20s %s\n", s.name.c_str(), s.figure.c_str(),
+                s.title.c_str());
+}
+
+std::vector<std::string> split_names(const std::string& arg) {
+  std::vector<std::string> names;
+  std::string cur;
+  for (char c : arg) {
+    if (c == ',') {
+      if (!cur.empty()) names.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) names.push_back(cur);
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false;
+  std::vector<std::string> names;
+  std::string format = "text";
+  RunContext ctx;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", arg.c_str());
+        std::exit(usage(argv[0], 2));
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--run") {
+      for (auto& n : split_names(next())) names.push_back(std::move(n));
+    } else if (arg == "--jobs") {
+      ctx.jobs = std::max(1, std::atoi(next()));
+    } else if (arg == "--format") {
+      format = next();
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return usage(argv[0], 2);
+    }
+  }
+  if (format != "text" && format != "csv" && format != "json") {
+    std::fprintf(stderr, "unknown format: %s\n", format.c_str());
+    return usage(argv[0], 2);
+  }
+
+  const ScenarioRegistry& registry = ScenarioRegistry::paper();
+  if (list) {
+    list_scenarios();
+    return 0;
+  }
+  if (names.empty()) return usage(argv[0], 2);
+  if (names.size() == 1 && names[0] == "all") {
+    names.clear();
+    for (const auto& s : registry.scenarios()) names.push_back(s.name);
+  }
+
+  // Resolve everything up front so a typo fails before hours of sweeps.
+  std::vector<const ScenarioInfo*> selected;
+  for (const auto& n : names) {
+    const ScenarioInfo* s = registry.find(n);
+    if (!s) {
+      std::fprintf(stderr, "unknown scenario: %s (try --list)\n", n.c_str());
+      return 1;
+    }
+    selected.push_back(s);
+  }
+
+  // JSON buffers the whole array so a scenario failure mid-run never leaves
+  // an unterminated array on stdout.
+  std::string json_out = "[";
+  bool json_first = true;
+  for (const ScenarioInfo* s : selected) {
+    ScenarioResult result;
+    try {
+      result = s->run(ctx);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "scenario %s failed: %s\n", s->name.c_str(), e.what());
+      return 1;
+    }
+    if (format == "json") {
+      if (!json_first) json_out += ",\n";
+      json_out += result.to_json();
+      json_first = false;
+    } else if (format == "csv") {
+      std::fputs(result.to_csv().c_str(), stdout);
+    } else {
+      std::fputs(result.to_text().c_str(), stdout);
+    }
+  }
+  if (format == "json") std::printf("%s]\n", json_out.c_str());
+  return 0;
+}

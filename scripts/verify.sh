@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, run the full CTest suite, then run the
-# figure harnesses in a timed smoke mode so perf regressions on the phase
-# simulation hot path show up in CI output.
+# figure smoke through the mixnet-bench scenario runner so perf regressions
+# on the phase-simulation hot path show up in CI output AND in a
+# machine-readable perf trajectory (BENCH_verify.json at the repo root).
 # Exits non-zero on the first failing step; suitable as a CI job.
 set -euo pipefail
 
@@ -11,20 +12,34 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-# Figure-bench smoke: build the `figures` aggregate, then time the two
-# harnesses that stress the phase-simulation path hardest (Fig. 12/13 sweep
-# full training iterations over every fabric). Wall time is printed so a CI
-# log diff makes perf regressions visible; MIXNET_SMOKE_BENCHES overrides
-# the list (space-separated), e.g. MIXNET_SMOKE_BENCHES="" to skip.
+# Figure-bench smoke: the two scenarios that stress the phase-simulation
+# path hardest (fig12/fig13 sweep full training iterations over every
+# fabric), executed by `mixnet-bench --run <scenario> --jobs N` so sweep
+# points use the machine's cores. MIXNET_SMOKE_BENCHES overrides the
+# scenario list (space-separated; empty skips the smoke entirely);
+# MIXNET_SMOKE_JOBS overrides the worker count.
 cmake --build build -j -t figures
-smoke_benches=${MIXNET_SMOKE_BENCHES-"bench_fig12_speedups bench_fig13_pareto"}
+smoke_benches=${MIXNET_SMOKE_BENCHES-"fig12 fig13"}
+jobs=${MIXNET_SMOKE_JOBS-$(nproc)}
 total_ns=0
+bench_json=""
 for b in $smoke_benches; do
   start=$(date +%s%N)
-  ./build/bench/"$b" > /dev/null
+  ./build/bench/mixnet-bench --run "$b" --jobs "$jobs" > /dev/null
   end=$(date +%s%N)
   dur=$((end - start))
   total_ns=$((total_ns + dur))
   awk -v d="$dur" -v n="$b" 'BEGIN{printf "smoke %-28s %8.2f s\n", n, d/1e9}'
+  entry=$(awk -v d="$dur" -v n="$b" \
+    'BEGIN{printf "{\"name\":\"%s\",\"seconds\":%.3f}", n, d/1e9}')
+  bench_json="${bench_json:+$bench_json,}$entry"
 done
 awk -v d="$total_ns" 'BEGIN{printf "smoke total bench wall time    %8.2f s\n", d/1e9}'
+
+# Perf trajectory: one JSON object per verify run, overwritten in place so
+# CI can archive/diff it across commits.
+awk -v benches="$bench_json" -v total="$total_ns" -v jobs="$jobs" 'BEGIN{
+  printf "{\"suite\":\"figures-smoke\",\"jobs\":%d,\"benches\":[%s],", jobs, benches
+  printf "\"total_seconds\":%.3f}\n", total/1e9
+}' > BENCH_verify.json
+echo "wrote BENCH_verify.json"

@@ -72,6 +72,30 @@ double Rng::normal() {
   return r * std::cos(theta);
 }
 
+void Rng::fill_normal(double* out, std::size_t n) {
+  std::size_t i = 0;
+  if (i < n && has_cached_normal_) {
+    has_cached_normal_ = false;
+    out[i++] = cached_normal_;
+  }
+  // Whole Box-Muller pairs straight into the buffer (cos then sin, matching
+  // normal()'s ordering).
+  while (i + 1 < n) {
+    double u1, u2;
+    do {
+      u1 = uniform();
+    } while (u1 <= 1e-300);
+    u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    out[i++] = r * std::cos(theta);
+    out[i++] = r * std::sin(theta);
+  }
+  // Odd remainder: draw a pair, emit the cos, cache the sin -- exactly what
+  // a trailing normal() call does.
+  if (i < n) out[i] = normal();
+}
+
 double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
 
 double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }

@@ -39,6 +39,15 @@ class Rng {
   /// Standard normal via Box-Muller (cached second deviate).
   double normal();
 
+  /// Fill `out[0..n)` with standard normals, producing the exact sequence
+  /// that `n` successive normal() calls would (including consuming/leaving
+  /// the cached second deviate). Bulk entry point for the hot OU walks in
+  /// the gate simulator: batching the draws here is what lets a future
+  /// vectorization change the internals without touching every caller --
+  /// and without perturbing any draw sequence, which figure shapes depend
+  /// on.
+  void fill_normal(double* out, std::size_t n);
+
   /// Normal with mean/stddev.
   double normal(double mean, double stddev);
 

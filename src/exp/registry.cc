@@ -1,0 +1,53 @@
+#include "exp/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mixnet::exp {
+
+void ScenarioRegistry::add(ScenarioInfo info) {
+  if (find(info.name))
+    throw std::invalid_argument("duplicate scenario: " + info.name);
+  scenarios_.push_back(std::move(info));
+}
+
+const ScenarioInfo* ScenarioRegistry::find(const std::string& name) const {
+  for (const auto& s : scenarios_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+const ScenarioRegistry& ScenarioRegistry::paper() {
+  static const ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    register_traffic_scenarios(*r);
+    register_training_scenarios(*r);
+    register_cost_scenarios(*r);
+    register_hardware_scenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+int run_scenario_main(const std::string& name) {
+  const ScenarioInfo* s = ScenarioRegistry::paper().find(name);
+  if (!s) {
+    std::fprintf(stderr, "unknown scenario: %s\n", name.c_str());
+    return 1;
+  }
+  RunContext ctx;
+  if (const char* jobs = std::getenv("MIXNET_BENCH_JOBS"))
+    ctx.jobs = std::max(1, std::atoi(jobs));
+  try {
+    const ScenarioResult result = s->run(ctx);
+    std::fputs(result.to_text().c_str(), stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario %s failed: %s\n", name.c_str(), e.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace mixnet::exp

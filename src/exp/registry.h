@@ -1,0 +1,55 @@
+// ScenarioRegistry: every paper figure/table/ablation as a named, runnable
+// scenario (DESIGN.md §7). `mixnet-bench --list` enumerates it; each legacy
+// bench_fig* binary is a thin wrapper over run_scenario_main(). The
+// per-scenario figure-vs-paper shape comparison is recorded in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/result_table.h"
+
+namespace mixnet::exp {
+
+/// Execution options threaded into every scenario run.
+struct RunContext {
+  int jobs = 1;  ///< worker threads for sweep execution
+};
+
+struct ScenarioInfo {
+  std::string name;     ///< registry/CLI name, e.g. "fig13"
+  std::string figure;   ///< paper artifact, e.g. "Figure 13"
+  std::string title;    ///< one-line description
+  std::function<ScenarioResult(const RunContext&)> run;
+};
+
+class ScenarioRegistry {
+ public:
+  /// Throws std::invalid_argument on duplicate names.
+  void add(ScenarioInfo info);
+
+  const ScenarioInfo* find(const std::string& name) const;
+  const std::vector<ScenarioInfo>& scenarios() const { return scenarios_; }
+
+  /// The process-wide registry holding every paper scenario.
+  static const ScenarioRegistry& paper();
+
+ private:
+  std::vector<ScenarioInfo> scenarios_;
+};
+
+// Registration units (one per scenario family; see scenarios_*.cc).
+void register_traffic_scenarios(ScenarioRegistry& r);   // fig02/04/05/19
+void register_training_scenarios(ScenarioRegistry& r);  // fig03/10/12/13/14/16/25/26/27/28
+void register_cost_scenarios(ScenarioRegistry& r);      // fig11/24 + tables
+void register_hardware_scenarios(ScenarioRegistry& r);  // fig21 + ablation
+
+/// Run one registered scenario and print its text rendering to stdout;
+/// returns a process exit code. Worker threads come from the
+/// MIXNET_BENCH_JOBS environment variable (default 1). This is the whole
+/// body of every legacy bench_fig* binary.
+int run_scenario_main(const std::string& name);
+
+}  // namespace mixnet::exp

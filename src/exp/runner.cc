@@ -1,0 +1,71 @@
+#include "exp/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace mixnet::exp {
+
+PointResult run_point(const SweepPoint& point) {
+  PointResult res;
+  res.index = point.index;
+  res.iterations = point.iterations;
+  sim::TrainingSimulator simulator(point.cfg);
+  double total = 0.0;
+  res.iters.reserve(static_cast<std::size_t>(point.iterations));
+  for (int i = 0; i < point.iterations; ++i) {
+    res.iters.push_back(simulator.run_iteration());
+    total += ns_to_sec(res.iters.back().total);
+  }
+  res.iter_sec = total / point.iterations;
+  res.timeline = simulator.layer_timeline();
+  if (point.probe) point.probe(simulator, res);
+  return res;
+}
+
+std::vector<PointResult> run_sweep(const std::vector<SweepPoint>& points,
+                                   int jobs) {
+  std::vector<PointResult> results(points.size());
+  if (points.empty()) return results;
+
+  const std::size_t workers = std::min<std::size_t>(
+      jobs > 1 ? static_cast<std::size_t>(jobs) : 1, points.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i)
+      results[i] = run_point(points[i]);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto work = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= points.size() || failed.load()) return;
+      try {
+        results[i] = run_point(points[i]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(work);
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<PointResult> run_sweep(const Sweep& sweep, int jobs) {
+  return run_sweep(sweep.points(), jobs);
+}
+
+}  // namespace mixnet::exp

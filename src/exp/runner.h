@@ -1,0 +1,48 @@
+// SweepRunner: execute sweep points on a thread pool (DESIGN.md §7).
+//
+// Each point owns its own TrainingSimulator (the simulator has no shared
+// mutable state -- every stochastic component draws from the point's own
+// seeded Rng), so points are embarrassingly parallel. Workers claim points
+// from an atomic counter and write results into a pre-sized vector slot
+// keyed by point index, so the collected ResultTable is identical whether
+// the sweep runs with --jobs 1 or --jobs N.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.h"
+
+namespace mixnet::exp {
+
+/// Measurements of one executed sweep point.
+struct PointResult {
+  std::size_t index = 0;
+  int iterations = 0;
+  /// Mean seconds per iteration (accumulated in iteration order, matching
+  /// the historical benchutil::measure_iteration_sec).
+  double iter_sec = 0.0;
+  /// Per-iteration results, in execution order.
+  std::vector<sim::IterationResult> iters;
+  /// Fig. 3 timeline of the first MoE block after the last iteration.
+  sim::PhaseTimeline timeline;
+  /// Probe-recorded custom metrics (see ScenarioSpec::probe).
+  std::map<std::string, double> extra;
+
+  const sim::IterationResult& last() const { return iters.back(); }
+};
+
+/// Execute one point: build the simulator, run the measured iterations,
+/// apply the probe.
+PointResult run_point(const SweepPoint& point);
+
+/// Execute all points with `jobs` worker threads (<= 1 means serial).
+/// Results are indexed by point index regardless of execution order. A
+/// point that throws rethrows on the caller's thread after all workers
+/// drain.
+std::vector<PointResult> run_sweep(const std::vector<SweepPoint>& points,
+                                   int jobs = 1);
+std::vector<PointResult> run_sweep(const Sweep& sweep, int jobs = 1);
+
+}  // namespace mixnet::exp

@@ -1,0 +1,155 @@
+// Cost-model scenarios: figures/tables computed from the capex model alone
+// (Figs. 11, 24; Tables 1-4). Ported verbatim from the historical bench
+// harnesses; see EXPERIMENTS.md for the paper-shape comparison.
+#include <cstdio>
+
+#include "cost/cost_model.h"
+#include "exp/registry.h"
+#include "exp/result_table.h"
+#include "exp/scenario.h"
+#include "moe/models.h"
+#include "ocs/hardware.h"
+
+namespace mixnet::exp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Figure 11: networking cost (M$) vs cluster size at 100/200/400/800 Gbps
+// for the five evaluated interconnects.
+
+ScenarioResult run_fig11(const RunContext&) {
+  const std::vector<topo::FabricKind>& kinds = evaluated_fabrics();
+  ScenarioResult out;
+  out.name = "fig11";
+  for (int gbps : {100, 200, 400, 800}) {
+    std::vector<std::string> head = {"# GPUs"};
+    for (auto k : kinds) head.emplace_back(topo::to_string(k));
+    ResultTable table("Figure 11 (" + std::to_string(gbps) + " Gbps)",
+                      "Networking cost (M$) vs cluster size", std::move(head),
+                      20);
+    for (int gpus : {1024, 2048, 4096, 8192, 16384, 32768}) {
+      std::vector<Cell> cells = {std::to_string(gpus)};
+      for (auto k : kinds)
+        cells.push_back(Cell::num(cost::fabric_cost_musd(k, gpus, gbps), 2));
+      table.add_row(std::move(cells));
+    }
+    const double ratio =
+        cost::fabric_cost_musd(topo::FabricKind::kFatTree, 8192, gbps) /
+        cost::fabric_cost_musd(topo::FabricKind::kMixNet, 8192, gbps);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "fat-tree / MixNet cost ratio @8192 GPUs: %.2fx", ratio);
+    table.add_footer(buf);
+    out.tables.push_back(std::move(table));
+  }
+  out.note =
+      "Paper: MixNet ~2.0x cheaper than fat-tree on average (2.3x at\n"
+      "400 Gbps); TopoOpt slightly cheaper only at 1024 GPUs.";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 24 (§D.3): cost impact of EPS short-reach link options at 400 Gbps:
+// transceiver+fiber vs 10 m AOC vs 3 m DAC, for fat-tree and MixNet.
+
+ScenarioResult run_fig24(const RunContext&) {
+  const std::vector<cost::EpsLinkType> links = {
+      cost::EpsLinkType::kTransceiverFiber, cost::EpsLinkType::kAoc,
+      cost::EpsLinkType::kDac};
+  std::vector<std::string> head = {"# GPUs"};
+  for (auto k : {topo::FabricKind::kFatTree, topo::FabricKind::kMixNet})
+    for (auto l : links)
+      head.push_back(std::string(topo::to_string(k)) + " " + cost::to_string(l));
+
+  ScenarioResult out;
+  out.name = "fig24";
+  ResultTable table("Figure 24", "EPS link options, 400 Gbps, cost (M$)",
+                    std::move(head), 26);
+  for (int gpus : {1024, 2048, 4096, 8192, 16384, 32768}) {
+    std::vector<Cell> cells = {std::to_string(gpus)};
+    for (auto k : {topo::FabricKind::kFatTree, topo::FabricKind::kMixNet})
+      for (auto l : links)
+        cells.push_back(
+            Cell::num(cost::fabric_cost(k, gpus / 8, 8, 400, l).total() / 1e6, 2));
+    table.add_row(std::move(cells));
+  }
+  const double ft = cost::fabric_cost(topo::FabricKind::kFatTree, 512, 8, 400,
+                                      cost::EpsLinkType::kDac)
+                        .total();
+  const double mx = cost::fabric_cost(topo::FabricKind::kMixNet, 512, 8, 400,
+                                      cost::EpsLinkType::kDac)
+                        .total();
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "\nfat-tree / MixNet with DAC @4096 GPUs: %.2fx  (paper: ~2.2x)",
+                ft / mx);
+  table.add_footer(buf);
+  out.tables.push_back(std::move(table));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tables 1-4: model/parallelism configurations, the commodity OCS trade-off,
+// the parallelism-to-fabric fit, and networking component prices.
+
+ScenarioResult run_tables(const RunContext&) {
+  ScenarioResult out;
+  out.name = "tables";
+
+  ResultTable t1("Table 1", "State-of-the-art MoE training configurations",
+                 {"Model", "Size(B)", "Blocks", "Experts", "top-k", "EP", "TP",
+                  "PP"});
+  for (const auto& m : {moe::mixtral_8x7b(), moe::llama_moe(), moe::qwen_moe(),
+                        moe::mixtral_8x22b(), moe::deepseek_r1()}) {
+    const auto p = moe::default_parallelism(m);
+    t1.add_row({m.name, Cell::num(m.total_params_b, 1),
+                std::to_string(m.n_blocks), std::to_string(m.n_experts),
+                std::to_string(m.top_k), std::to_string(p.ep),
+                std::to_string(p.tp), std::to_string(p.pp)});
+  }
+  out.tables.push_back(std::move(t1));
+
+  ResultTable t2("Table 2", "Commodity OCS port count vs reconfiguration delay",
+                 {"Technology", "Ports", "Reconfig delay"});
+  for (const auto& t : ocs::commodity_ocs_technologies())
+    t2.add_row({t.name,
+                std::to_string(t.port_count) + "x" + std::to_string(t.port_count),
+                t.delay_note});
+  out.tables.push_back(std::move(t2));
+
+  ResultTable t3("Table 3", "Best fit between parallelism traffic and interconnect",
+                 {"Parallelism", "Volume", "Temporal", "Spatial",
+                  "Best-fit fabric"},
+                 26);
+  t3.add_row({"DP", "Low", "Deterministic", "Global all-reduce", "EPS (Ethernet)"});
+  t3.add_row({"TP", "Highest", "Deterministic", "Local all-reduce", "NVSwitch"});
+  t3.add_row({"PP", "Low", "Deterministic", "Point-to-point", "EPS (Ethernet)"});
+  t3.add_row({"EP", "High", "Non-deterministic", "Regional sparse a2a",
+              "Optical circuit"});
+  out.tables.push_back(std::move(t3));
+
+  ResultTable t4("Table 4", "Cost of network components (USD)",
+                 {"Bandwidth", "Transceiver", "NIC", "EPS port", "OCS port",
+                  "Patch port"});
+  for (int gbps : {100, 200, 400, 800}) {
+    const auto p = cost::prices_for(gbps);
+    t4.add_row({std::to_string(gbps) + " Gbps", Cell::num(p.transceiver, 0),
+                Cell::num(p.nic, 0), Cell::num(p.eps_port, 0),
+                Cell::num(p.ocs_port, 0), Cell::num(p.patch_port, 0)});
+  }
+  out.tables.push_back(std::move(t4));
+  return out;
+}
+
+}  // namespace
+
+void register_cost_scenarios(ScenarioRegistry& r) {
+  r.add({"fig11", "Figure 11", "Networking cost vs cluster size per fabric",
+         run_fig11});
+  r.add({"fig24", "Figure 24", "EPS short-reach link cost options", run_fig24});
+  r.add({"tables", "Tables 1-4",
+         "Model configs, OCS trade-off, parallelism fit, component prices",
+         run_tables});
+}
+
+}  // namespace mixnet::exp

@@ -104,15 +104,23 @@ void GateSimulator::advance_state() {
   // walk keeps expert popularity moving between iterations (Fig. 4a) while
   // the pull toward 0 keeps its stationary spread bounded, so the
   // load-balancing mix below can actually flatten the distribution over
-  // training instead of racing a diverging walk.
-  for (auto& z : logits_) z = 0.985 * z + rng_.normal(0.0, cfg_.drift_sigma);
+  // training instead of racing a diverging walk. Draws go through the bulk
+  // Rng::fill_normal entry point (sequence-identical to per-call normal())
+  // so the OU walks can later be batched/vectorized in one place.
+  normal_scratch_.resize(logits_.size());
+  rng_.fill_normal(normal_scratch_.data(), normal_scratch_.size());
+  for (std::size_t e = 0; e < logits_.size(); ++e)
+    logits_[e] = 0.985 * logits_[e] + cfg_.drift_sigma * normal_scratch_[e];
   // Preference drift: hot (rank, expert) affinities wander on a ~50-
   // iteration timescale while staying sparse (OU stationary spread).
   for (std::size_t k = 0; k < pref_logits_.size(); ++k) {
     auto& z = pref_logits_[k];
     auto& p = rank_pref_[k];
+    normal_scratch_.resize(z.size());
+    rng_.fill_normal(normal_scratch_.data(), z.size());
     for (std::size_t e = 0; e < z.size(); ++e) {
-      z[e] = cfg_.pref_retention * z[e] + rng_.normal(0.0, cfg_.pref_drift_sigma);
+      z[e] = cfg_.pref_retention * z[e] +
+             cfg_.pref_drift_sigma * normal_scratch_[e];
       p[e] = std::exp(z[e]);
     }
     normalize(p);
@@ -213,11 +221,14 @@ void GateSimulator::realize_counts() {
     Matrix& c = counts_[static_cast<std::size_t>(l)];
     for (int h = 0; h < cfg_.ep_ranks; ++h) {
       const auto& q = q_[static_cast<std::size_t>(l)][static_cast<std::size_t>(h)];
+      normal_scratch_.resize(E);
+      rng_.fill_normal(normal_scratch_.data(), E);
       double total = 0.0;
       for (std::size_t e = 0; e < E; ++e) {
         const double meanv = n * q[e];
         const double var = n * q[e] * (1.0 - q[e]);
-        double v = meanv + rng_.normal(0.0, std::sqrt(std::max(var, 0.0)));
+        double v =
+            meanv + std::sqrt(std::max(var, 0.0)) * normal_scratch_[e];
         v = std::max(v, 0.0);
         c(static_cast<std::size_t>(h), e) = v;
         total += v;

@@ -96,6 +96,7 @@ class GateSimulator {
   std::vector<std::vector<std::vector<double>>> q_;  // [layer][rank][expert]
   std::vector<std::vector<double>> load_;            // [layer][expert]
   std::vector<Matrix> counts_;                       // [layer] (rank x expert)
+  std::vector<double> normal_scratch_;               // bulk fill_normal buffer
 };
 
 }  // namespace mixnet::moe

@@ -82,6 +82,33 @@ TEST(Rng, NormalMoments) {
   EXPECT_NEAR(stddev(xs), 2.0, 0.05);
 }
 
+// fill_normal is the bulk entry point for the gate simulator's OU walks; a
+// future batched/vectorized implementation must keep producing the exact
+// per-call normal() sequence, or every figure shape shifts.
+TEST(Rng, FillNormalMatchesSequentialDraws) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                        std::size_t{3}, std::size_t{7}, std::size_t{64},
+                        std::size_t{101}}) {
+    Rng a(123), b(123);
+    std::vector<double> seq(n), bulk(n);
+    for (auto& v : seq) v = a.normal();
+    b.fill_normal(bulk.data(), n);
+    EXPECT_EQ(seq, bulk) << "n=" << n;
+    // Both streams remain aligned afterwards (cache state included).
+    for (int k = 0; k < 3; ++k) EXPECT_EQ(a.normal(), b.normal());
+  }
+}
+
+TEST(Rng, FillNormalConsumesPendingCachedDeviate) {
+  Rng a(9), b(9);
+  ASSERT_EQ(a.normal(), b.normal());  // both now hold a cached second deviate
+  std::vector<double> seq(5), bulk(5);
+  for (auto& v : seq) v = a.normal();
+  b.fill_normal(bulk.data(), bulk.size());
+  EXPECT_EQ(seq, bulk);
+  EXPECT_EQ(a.uniform(), b.uniform());
+}
+
 TEST(Rng, DirichletSumsToOne) {
   Rng r(13);
   for (double alpha : {0.1, 0.5, 1.0, 5.0}) {
