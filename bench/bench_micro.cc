@@ -102,11 +102,11 @@ void BM_EcmpRouting(benchmark::State& state) {
 BENCHMARK(BM_EcmpRouting);
 
 // GateSimulator hot paths. After the phase cache + incremental rate solver,
-// ~60% of figure-bench samples are gate RNG (refresh_distributions /
-// advance_state OU walks) -- these cases are the measurement baseline for
-// the ROADMAP OU-batching item, whose correctness bar is "figure shapes
-// unchanged" (the walks draw through Rng::fill_normal, the single batched
-// entry point a vectorization would replace).
+// ~60% of figure-bench samples were gate RNG (refresh_distributions /
+// advance_state OU walks); the vectorized fill_normal/fill_gamma fast path
+// plus the closed-form warmup skip (advance_steps) are the response. These
+// cases track both: the per-iteration stepped path and the fast-forward
+// path the figure benches now use.
 moe::GateConfig figure_gate_config() {
   // The dimensions the fig12/13 sweeps run: Mixtral 8x7B, one pipeline
   // stage, EP8, ~8k token slots per rank.
@@ -144,10 +144,30 @@ void BM_GateAdvanceState(benchmark::State& state) {
 }
 BENCHMARK(BM_GateAdvanceState)->Arg(100);
 
-/// Bulk standard-normal draws (the primitive under both gate paths).
+/// Closed-form warmup fast-forward: one draw per dimension regardless of n,
+/// plus a transition-drift round per crossed 50-iteration boundary. The
+/// per-advanced-iteration rate is what makes the 100-iteration figure-bench
+/// warmups cheap.
+void BM_GateAdvanceSteps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  moe::GateSimulator gate(figure_gate_config());
+  for (auto _ : state) {
+    gate.advance_steps(n);
+    benchmark::DoNotOptimize(gate.expert_load(0).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("iterations_advanced=" + std::to_string(n));
+}
+BENCHMARK(BM_GateAdvanceSteps)->Arg(100);
+
+/// Bulk standard-normal draws (the primitive under both gate paths), in
+/// both draw-sequence modes: kSequential is the historical pair-at-a-time
+/// Box-Muller, kVectorized the block fast path.
 void BM_RngFillNormal(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(7);
+  const auto mode = state.range(1) == 0 ? Rng::Mode::kSequential
+                                        : Rng::Mode::kVectorized;
+  Rng rng(7, mode);
   std::vector<double> buf(n);
   for (auto _ : state) {
     rng.fill_normal(buf.data(), n);
@@ -155,8 +175,29 @@ void BM_RngFillNormal(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
+  state.SetLabel(mode == Rng::Mode::kSequential ? "sequential" : "vectorized");
 }
-BENCHMARK(BM_RngFillNormal)->Arg(8)->Arg(64)->Arg(4096);
+BENCHMARK(BM_RngFillNormal)
+    ->Args({8, 0})->Args({64, 0})->Args({4096, 0})
+    ->Args({8, 1})->Args({64, 1})->Args({4096, 1});
+
+/// Bulk gamma draws at the transition-drift concentration (shape < 1 takes
+/// the batched shape-boost branch).
+void BM_RngFillGamma(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto mode = state.range(1) == 0 ? Rng::Mode::kSequential
+                                        : Rng::Mode::kVectorized;
+  Rng rng(7, mode);
+  std::vector<double> buf(n);
+  for (auto _ : state) {
+    rng.fill_gamma(buf.data(), n, 0.08);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(mode == Rng::Mode::kSequential ? "sequential" : "vectorized");
+}
+BENCHMARK(BM_RngFillGamma)->Args({4096, 0})->Args({4096, 1});
 
 void BM_CopilotSolve(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -28,12 +28,14 @@ int usage(const char* argv0, int code) {
   std::fprintf(
       code == 0 ? stdout : stderr,
       "Usage: %s [--list] [--run NAME[,NAME...]|all] [--jobs N]\n"
-      "          [--format text|csv|json]\n"
+      "          [--format text|csv|json] [--check]\n"
       "\n"
       "  --list         list registered scenarios and exit\n"
       "  --run NAMES    comma-separated scenario names, or 'all'\n"
       "  --jobs N       worker threads for sweep points (default 1)\n"
-      "  --format FMT   output format: text (default), csv, json\n",
+      "  --format FMT   output format: text (default), csv, json\n"
+      "  --check        run registered paper-shape checks after each\n"
+      "                 scenario; exit 3 on any violation (CI smoke gate)\n",
       argv0);
   return code;
 }
@@ -64,6 +66,7 @@ std::vector<std::string> split_names(const std::string& arg) {
 
 int main(int argc, char** argv) {
   bool list = false;
+  bool check = false;
   std::vector<std::string> names;
   std::string format = "text";
   RunContext ctx;
@@ -85,6 +88,8 @@ int main(int argc, char** argv) {
       ctx.jobs = std::max(1, std::atoi(next()));
     } else if (arg == "--format") {
       format = next();
+    } else if (arg == "--check") {
+      check = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0], 0);
     } else {
@@ -123,6 +128,7 @@ int main(int argc, char** argv) {
   // an unterminated array on stdout.
   std::string json_out = "[";
   bool json_first = true;
+  int shape_violations = 0;
   for (const ScenarioInfo* s : selected) {
     ScenarioResult result;
     try {
@@ -140,7 +146,21 @@ int main(int argc, char** argv) {
     } else {
       std::fputs(result.to_text().c_str(), stdout);
     }
+    if (check) {
+      if (!s->check) {
+        std::fprintf(stderr, "shape check: %s has no registered check\n",
+                     s->name.c_str());
+      } else {
+        const auto violations = s->check(result);
+        for (const auto& v : violations)
+          std::fprintf(stderr, "shape check FAILED [%s]: %s\n", s->name.c_str(),
+                       v.c_str());
+        if (violations.empty())
+          std::fprintf(stderr, "shape check OK [%s]\n", s->name.c_str());
+        shape_violations += static_cast<int>(violations.size());
+      }
+    }
   }
   if (format == "json") std::printf("%s]\n", json_out.c_str());
-  return 0;
+  return shape_violations > 0 ? 3 : 0;
 }

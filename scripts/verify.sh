@@ -3,29 +3,68 @@
 # figure smoke through the mixnet-bench scenario runner so perf regressions
 # on the phase-simulation hot path show up in CI output AND in a
 # machine-readable perf trajectory (BENCH_verify.json at the repo root).
-# Exits non-zero on the first failing step; suitable as a CI job.
+# Exits non-zero on the first failing step — including a bench binary that
+# crashes or a registered paper-shape check that fails (`mixnet-bench
+# --check` exits 3 on violations) — so the CI figures-smoke job can gate on
+# this script directly.
 set -euo pipefail
+
+usage() {
+  cat <<EOF
+Usage: scripts/verify.sh [--jobs N] [--quick] [--help]
+
+  --jobs N   worker threads for build, ctest, and the smoke sweep points
+             (default: nproc)
+  --quick    skip the CTest suite and run only the figures smoke; for fast
+             perf iteration — the tier-1 gate is the full run
+  --help     this text
+
+Environment overrides (kept for CI matrix use):
+  MIXNET_SMOKE_BENCHES   space-separated scenario names (default "fig12
+                         fig13"; empty skips the smoke entirely)
+  MIXNET_SMOKE_JOBS      smoke worker count (overrides --jobs for the smoke)
+EOF
+}
+
+jobs=$(nproc)
+quick=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --jobs) shift; jobs=${1:?--jobs needs a value} ;;
+    --jobs=*) jobs=${1#--jobs=} ;;
+    --quick) quick=1 ;;
+    --help|-h) usage; exit 0 ;;
+    *) echo "verify.sh: unknown argument '$1'" >&2; usage >&2; exit 2 ;;
+  esac
+  shift
+done
 
 cd "$(dirname "$0")/.."
 
 cmake -B build -S .
-cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+if [ "$quick" -eq 0 ]; then
+  cmake --build build -j "$jobs"
+  (cd build && ctest --output-on-failure -j "$jobs")
+fi
 
 # Figure-bench smoke: the two scenarios that stress the phase-simulation
 # path hardest (fig12/fig13 sweep full training iterations over every
-# fabric), executed by `mixnet-bench --run <scenario> --jobs N` so sweep
-# points use the machine's cores. MIXNET_SMOKE_BENCHES overrides the
-# scenario list (space-separated; empty skips the smoke entirely);
-# MIXNET_SMOKE_JOBS overrides the worker count.
-cmake --build build -j -t figures
+# fabric), executed by `mixnet-bench --run <scenario> --jobs N --check` so
+# sweep points use the requested cores and the registered paper-shape
+# checks (ScenarioInfo::check, see EXPERIMENTS.md) gate the run. In --quick
+# mode only the figures target is built (the test suites are never run).
+cmake --build build -j "$jobs" -t figures
 smoke_benches=${MIXNET_SMOKE_BENCHES-"fig12 fig13"}
-jobs=${MIXNET_SMOKE_JOBS-$(nproc)}
+smoke_jobs=${MIXNET_SMOKE_JOBS-$jobs}
 total_ns=0
 bench_json=""
 for b in $smoke_benches; do
   start=$(date +%s%N)
-  ./build/bench/mixnet-bench --run "$b" --jobs "$jobs" > /dev/null
+  ./build/bench/mixnet-bench --run "$b" --jobs "$smoke_jobs" --check > /dev/null || {
+    status=$?
+    echo "verify.sh: mixnet-bench --run $b failed (exit $status)" >&2
+    exit "$status"
+  }
   end=$(date +%s%N)
   dur=$((end - start))
   total_ns=$((total_ns + dur))
@@ -37,8 +76,10 @@ done
 awk -v d="$total_ns" 'BEGIN{printf "smoke total bench wall time    %8.2f s\n", d/1e9}'
 
 # Perf trajectory: one JSON object per verify run, overwritten in place so
-# CI can archive/diff it across commits.
-awk -v benches="$bench_json" -v total="$total_ns" -v jobs="$jobs" 'BEGIN{
+# CI can archive/diff it across commits (the committed reference lives at
+# bench/figures_smoke_baseline.json; the CI smoke job fails on >20%
+# regression against it).
+awk -v benches="$bench_json" -v total="$total_ns" -v jobs="$smoke_jobs" 'BEGIN{
   printf "{\"suite\":\"figures-smoke\",\"jobs\":%d,\"benches\":[%s],", jobs, benches
   printf "\"total_seconds\":%.3f}\n", total/1e9
 }' > BENCH_verify.json

@@ -70,11 +70,19 @@ class Matrix {
 
   /// Matrix-vector product (cols() must equal x.size()).
   std::vector<double> mul(const std::vector<double>& x) const {
+    std::vector<double> y;
+    mul_into(x, y);
+    return y;
+  }
+
+  /// mul() into a caller-owned vector (no per-call allocation on hot paths).
+  /// `y` must not alias `x`.
+  void mul_into(const std::vector<double>& x, std::vector<double>& y) const {
     assert(x.size() == cols_);
-    std::vector<double> y(rows_, 0.0);
+    assert(&x != &y);
+    y.assign(rows_, 0.0);
     for (std::size_t r = 0; r < rows_; ++r)
       for (std::size_t c = 0; c < cols_; ++c) y[r] += (*this)(r, c) * x[c];
-    return y;
   }
 
   /// Transposed copy.

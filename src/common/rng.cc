@@ -3,8 +3,16 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/simd_math.h"
+#include "common/stats.h"
+
 namespace mixnet {
 namespace {
+
+// Doubles per block buffer for the vectorized fills. Big enough to amortize
+// the kernel-call and mask-compaction overhead, small enough to stay in L1
+// (each thread keeps a handful of these buffers, 4 KiB apiece).
+constexpr std::size_t kBlock = 512;
 
 std::uint64_t splitmix64(std::uint64_t& x) {
   x += 0x9E3779B97F4A7C15ULL;
@@ -73,6 +81,14 @@ double Rng::normal() {
 }
 
 void Rng::fill_normal(double* out, std::size_t n) {
+  if (mode_ == Mode::kVectorized) {
+    fill_normal_vectorized(out, n);
+    return;
+  }
+  fill_normal_sequential(out, n);
+}
+
+void Rng::fill_normal_sequential(double* out, std::size_t n) {
   std::size_t i = 0;
   if (i < n && has_cached_normal_) {
     has_cached_normal_ = false;
@@ -94,6 +110,41 @@ void Rng::fill_normal(double* out, std::size_t n) {
   // Odd remainder: draw a pair, emit the cos, cache the sin -- exactly what
   // a trailing normal() call does.
   if (i < n) out[i] = normal();
+}
+
+void Rng::fill_normal_vectorized(double* out, std::size_t n) {
+  std::size_t i = 0;
+  if (i < n && has_cached_normal_) {
+    has_cached_normal_ = false;
+    out[i++] = cached_normal_;
+  }
+  // Block Box-Muller: draw all uniforms for a block first (the xoshiro state
+  // update is inherently serial but cheap), then run the transcendental pass
+  // as one vectorizable kernel. u1 gets its low mantissa bit forced so
+  // log(u1) never sees zero without a per-element retry branch; the
+  // resulting 2^-54 bias is far below the generator's own 53-bit
+  // resolution.
+  static thread_local double u1[kBlock], u2[kBlock], bm_cos[kBlock],
+      bm_sin[kBlock];
+  while (i < n) {
+    const std::size_t pairs = std::min((n - i + 1) / 2, kBlock);
+    for (std::size_t k = 0; k < pairs; ++k) {
+      u1[k] = static_cast<double>(next() >> 11 | 1) * 0x1.0p-53;
+      u2[k] = static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+    vecmath::box_muller_block(u1, u2, bm_cos, bm_sin, pairs);
+    const std::size_t whole = std::min(n - i, 2 * pairs) / 2;
+    for (std::size_t k = 0; k < whole; ++k) {
+      out[i++] = bm_cos[k];
+      out[i++] = bm_sin[k];
+    }
+    if (whole < pairs && i < n) {
+      // Odd tail: emit the cos half, cache the sin half like normal() does.
+      out[i++] = bm_cos[whole];
+      cached_normal_ = bm_sin[whole];
+      has_cached_normal_ = true;
+    }
+  }
 }
 
 double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
@@ -128,22 +179,61 @@ double Rng::gamma(double shape) {
   }
 }
 
+void Rng::fill_gamma(double* out, std::size_t n, double shape) {
+  assert(shape > 0.0);
+  if (mode_ == Mode::kVectorized) {
+    fill_gamma_vectorized(out, n, shape);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = gamma(shape);
+}
+
+void Rng::fill_gamma_vectorized(double* out, std::size_t n, double shape) {
+  if (shape < 1.0) {
+    // Marsaglia-Tsang shape boost, batched: gamma(a) = gamma(a+1) * U^(1/a).
+    fill_gamma_vectorized(out, n, shape + 1.0);
+    static thread_local double u[kBlock], p[kBlock];
+    const double inv_shape = 1.0 / shape;
+    for (std::size_t i = 0; i < n; i += kBlock) {
+      const std::size_t m = std::min(n - i, kBlock);
+      for (std::size_t k = 0; k < m; ++k)
+        u[k] = static_cast<double>(next() >> 11 | 1) * 0x1.0p-53;
+      vecmath::pow_block(u, inv_shape, p, m);
+      for (std::size_t k = 0; k < m; ++k) out[i + k] *= p[k];
+    }
+    return;
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  static thread_local double xs[kBlock], us[kBlock], vals[kBlock];
+  static thread_local unsigned char accept[kBlock];
+  std::size_t filled = 0;
+  while (filled < n) {
+    // Candidate batch sized to the remaining demand; the acceptance rate of
+    // Marsaglia-Tsang is >95% for shape >= 1, so refill rounds are rare.
+    const std::size_t m = std::min(n - filled, kBlock);
+    fill_normal_vectorized(xs, m);
+    for (std::size_t k = 0; k < m; ++k)
+      us[k] = static_cast<double>(next() >> 11 | 1) * 0x1.0p-53;
+    vecmath::gamma_candidate_block(xs, us, d, c, vals, accept, m);
+    for (std::size_t k = 0; k < m && filled < n; ++k)
+      if (accept[k]) out[filled++] = vals[k];
+  }
+}
+
+void Rng::fill_dirichlet(double* out, std::size_t n, double alpha) {
+  fill_gamma(out, n, alpha);
+  normalize_span(out, n);
+}
+
 std::vector<double> Rng::dirichlet(std::size_t n, double alpha) {
   return dirichlet(std::vector<double>(n, alpha));
 }
 
 std::vector<double> Rng::dirichlet(const std::vector<double>& alpha) {
   std::vector<double> out(alpha.size());
-  double sum = 0.0;
-  for (std::size_t i = 0; i < alpha.size(); ++i) {
-    out[i] = gamma(alpha[i]);
-    sum += out[i];
-  }
-  if (sum <= 0.0) {
-    for (auto& v : out) v = 1.0 / static_cast<double>(out.size());
-    return out;
-  }
-  for (auto& v : out) v /= sum;
+  for (std::size_t i = 0; i < alpha.size(); ++i) out[i] = gamma(alpha[i]);
+  normalize_span(out.data(), out.size());
   return out;
 }
 
@@ -160,8 +250,7 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
 }
 
 Rng Rng::fork() {
-  Rng child;
-  child.reseed(next() ^ 0xD1B54A32D192ED03ULL);
+  Rng child(next() ^ 0xD1B54A32D192ED03ULL, mode_);
   return child;
 }
 

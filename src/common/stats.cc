@@ -5,6 +5,17 @@
 
 namespace mixnet {
 
+void normalize_span(double* v, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += v[i];
+  if (s <= 0.0) {
+    const double u = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = u;
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) v[i] /= s;
+}
+
 double mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   double s = 0.0;

@@ -6,6 +6,12 @@
 
 namespace mixnet {
 
+/// Normalize v[0..n) to sum to 1 in place; degenerate input (sum <= 0)
+/// becomes the uniform distribution. Shared by Rng's Dirichlet sampling and
+/// the gate simulator's distribution refresh so the fallback policy cannot
+/// drift between the bulk and per-call paths.
+void normalize_span(double* v, std::size_t n);
+
 double mean(const std::vector<double>& xs);
 double variance(const std::vector<double>& xs);  // population variance
 double stddev(const std::vector<double>& xs);

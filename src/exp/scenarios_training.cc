@@ -3,8 +3,11 @@
 // Each is a ScenarioSpec + SweepSpec grid executed by run_sweep(); result
 // rows index the grid exactly (Sweep::flat), never by re-matching axis
 // values. Per-figure paper-shape comparisons live in EXPERIMENTS.md.
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "cost/cost_model.h"
 #include "exp/registry.h"
@@ -545,15 +548,122 @@ ScenarioResult run_fig28(const RunContext& ctx) {
 
 }  // namespace
 
+// Structural paper-shape checks for the CI figures-smoke gate (see
+// ScenarioInfo::check). fig12 tables: one per model, rows = bandwidths,
+// columns Gbps | fat-tree | rail-optimized | oversub | TopoOpt | MixNet,
+// values normalized iteration time (lower is better).
+std::vector<std::string> check_fig12(const ScenarioResult& res) {
+  std::vector<std::string> bad;
+  for (const auto& t : res.tables) {
+    // A malformed table is itself a shape violation — report it rather than
+    // indexing past the end (this gate must never be the thing that crashes).
+    if (t.rows().empty()) {
+      bad.push_back(printf_str("%s: table has no rows", t.title().c_str()));
+      continue;
+    }
+    bool short_row = false;
+    for (const auto& row : t.rows())
+      if (row.size() < 6) short_row = true;
+    if (short_row) {
+      bad.push_back(printf_str("%s: row with fewer than 6 columns",
+                               t.title().c_str()));
+      continue;
+    }
+    for (const auto& row : t.rows()) {
+      const double gbps = row[0].value();
+      for (std::size_t c = 1; c < row.size(); ++c)
+        if (!(row[c].value() > 0.0) || !std::isfinite(row[c].value()))
+          bad.push_back(printf_str("%s @%g G: non-positive normalized time",
+                                   t.title().c_str(), gbps));
+      const double fat_tree = row[1].value();
+      const double topoopt = row[4].value();
+      const double mixnet = row[5].value();
+      if (!(mixnet < topoopt))
+        bad.push_back(printf_str(
+            "%s @%g G: MixNet (%.3f) not faster than TopoOpt (%.3f)",
+            t.title().c_str(), gbps, mixnet, topoopt));
+      if (!(mixnet < 1.4 * fat_tree))
+        bad.push_back(printf_str(
+            "%s @%g G: MixNet (%.3f) >40%% behind fat-tree (%.3f)",
+            t.title().c_str(), gbps, mixnet, fat_tree));
+    }
+    // The TopoOpt gap narrows as bandwidth rises (paper: gaps shrink).
+    const auto& first = t.rows().front();
+    const auto& last = t.rows().back();
+    if (!(last[4].value() / last[5].value() <
+          first[4].value() / first[5].value() + 1e-9))
+      bad.push_back(printf_str("%s: TopoOpt/MixNet gap fails to narrow with "
+                               "bandwidth", t.title().c_str()));
+  }
+  if (res.tables.empty()) bad.emplace_back("fig12: no tables produced");
+  return bad;
+}
+
+// fig13 tables: one per model, rows = (fabric, bandwidth) with columns
+// Fabric | Gbps | rel.cost | rel.perf | perf/$ (rel). MixNet must be more
+// cost-efficient than fat-tree at every bandwidth (paper: 1.2-2.3x).
+std::vector<std::string> check_fig13(const ScenarioResult& res) {
+  std::vector<std::string> bad;
+  for (const auto& t : res.tables) {
+    if (t.rows().empty()) {
+      bad.push_back(printf_str("%s: table has no rows", t.title().c_str()));
+      continue;
+    }
+    bool short_row = false;
+    for (const auto& row : t.rows())
+      if (row.size() < 5) short_row = true;
+    if (short_row) {
+      bad.push_back(printf_str("%s: row with fewer than 5 columns",
+                               t.title().c_str()));
+      continue;
+    }
+    // Rows are emitted in (fabric, bandwidth) grid order, so each fabric's
+    // rows share one bandwidth sequence; pair fat-tree and MixNet rows
+    // positionally within their fabric blocks rather than re-matching by
+    // floating-point equality of the Gbps cell (the exact pattern the exp
+    // layer's Sweep::flat indexing exists to avoid).
+    std::vector<std::pair<double, double>> fat_tree_ppd, mixnet_ppd;
+    for (const auto& row : t.rows()) {
+      const std::string fabric = row[0].text();
+      const double gbps = row[1].value();
+      const double ppd = row[4].value();
+      if (!(row[2].value() > 0.0) || !(row[3].value() > 0.0) || !(ppd > 0.0))
+        bad.push_back(printf_str("%s: non-positive cell for %s @%g G",
+                                 t.title().c_str(), fabric.c_str(), gbps));
+      if (fabric == topo::to_string(topo::FabricKind::kFatTree))
+        fat_tree_ppd.emplace_back(gbps, ppd);
+      if (fabric == topo::to_string(topo::FabricKind::kMixNet))
+        mixnet_ppd.emplace_back(gbps, ppd);
+    }
+    if (mixnet_ppd.empty() || mixnet_ppd.size() != fat_tree_ppd.size()) {
+      bad.push_back(printf_str("%s: %zu MixNet vs %zu fat-tree rows",
+                               t.title().c_str(), mixnet_ppd.size(),
+                               fat_tree_ppd.size()));
+      continue;
+    }
+    for (std::size_t i = 0; i < mixnet_ppd.size(); ++i) {
+      const auto [gbps, ppd] = mixnet_ppd[i];
+      if (!(ppd > fat_tree_ppd[i].second))
+        bad.push_back(printf_str(
+            "%s @%g G: MixNet perf/$ (%.2f) not above fat-tree (%.2f)",
+            t.title().c_str(), gbps, ppd, fat_tree_ppd[i].second));
+    }
+  }
+  if (res.tables.empty()) bad.emplace_back("fig13: no tables produced");
+  return bad;
+}
+
 void register_training_scenarios(ScenarioRegistry& r) {
   r.add({"fig03", "Figure 3 + Figure 17",
          "MoE-block forward timeline vs micro-batch size", run_fig03});
   r.add({"fig10", "Figure 10",
          "Testbed iteration time: EPS baseline vs MixNet prototype", run_fig10});
   r.add({"fig12", "Figure 12",
-         "Normalized iteration time vs bandwidth, five fabrics", run_fig12});
+         "Normalized iteration time vs bandwidth, five fabrics", run_fig12,
+         check_fig12});
   r.add({"fig13", "Figure 13",
-         "Performance-cost Pareto analysis per fabric and bandwidth", run_fig13});
+         "Performance-cost Pareto analysis per fabric and bandwidth", run_fig13,
+         check_fig13});
   r.add({"fig14", "Figure 14",
          "Failure resiliency: NIC/GPU/server failures on MixNet", run_fig14});
   r.add({"fig16", "Figure 16",

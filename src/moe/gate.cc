@@ -4,38 +4,44 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/simd_math.h"
+#include "common/stats.h"
+
 namespace mixnet::moe {
 
 namespace {
 
-void normalize(std::vector<double>& v) {
-  double s = 0.0;
-  for (double x : v) s += x;
-  if (s <= 0.0) {
-    std::fill(v.begin(), v.end(), 1.0 / static_cast<double>(v.size()));
-    return;
-  }
-  for (double& x : v) x /= s;
-}
+/// Per-iteration retention of the popularity logit walk (OU mean reversion;
+/// see advance_state).
+constexpr double kPopularityRetention = 0.985;
+
+void normalize(std::vector<double>& v) { normalize_span(v.data(), v.size()); }
 
 }  // namespace
 
-GateSimulator::GateSimulator(const GateConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+GateSimulator::GateSimulator(const GateConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed, cfg.rng_mode) {
   assert(cfg_.n_experts >= cfg_.ep_ranks || cfg_.n_experts > 0);
   experts_per_rank_ = std::max(1, cfg_.n_experts / cfg_.ep_ranks);
 
   logits_.resize(static_cast<std::size_t>(cfg_.n_experts));
   for (auto& z : logits_) z = rng_.normal(0.0, 1.0);
 
-  // Column-stochastic transition matrices, one per layer boundary.
+  // Column-stochastic transition matrices, one per layer boundary. One bulk
+  // gamma fill per layer; each E-sized chunk normalizes into one source
+  // column's Dirichlet sample (sequence-identical to per-column
+  // rng_.dirichlet in sequential mode, and the constructor's dominant cost
+  // for the 256-expert models without the bulk path).
+  const auto E0 = static_cast<std::size_t>(cfg_.n_experts);
   transitions_.reserve(static_cast<std::size_t>(cfg_.n_layers));
   transitions_.emplace_back();  // layer 0 has no predecessor
   for (int l = 1; l < cfg_.n_layers; ++l) {
-    Matrix m(static_cast<std::size_t>(cfg_.n_experts),
-             static_cast<std::size_t>(cfg_.n_experts));
+    Matrix m(E0, E0);
+    gamma_scratch_.resize(E0 * E0);
+    rng_.fill_gamma(gamma_scratch_.data(), E0 * E0, cfg_.transition_alpha);
     for (int src = 0; src < cfg_.n_experts; ++src) {
-      auto col = rng_.dirichlet(static_cast<std::size_t>(cfg_.n_experts),
-                                cfg_.transition_alpha);
+      double* col = gamma_scratch_.data() + static_cast<std::size_t>(src) * E0;
+      normalize_span(col, E0);
       for (int dst = 0; dst < cfg_.n_experts; ++dst)
         m(static_cast<std::size_t>(dst), static_cast<std::size_t>(src)) =
             col[static_cast<std::size_t>(dst)];
@@ -61,10 +67,8 @@ GateSimulator::GateSimulator(const GateConfig& cfg) : cfg_(cfg), rng_(cfg.seed) 
     auto& z = pref_logits_[k];
     z.resize(static_cast<std::size_t>(cfg_.n_experts));
     for (auto& v : z) v = rng_.normal(0.0, pref_sd);
-    auto& p = rank_pref_[k];
-    p.resize(z.size());
-    for (std::size_t e = 0; e < z.size(); ++e) p[e] = std::exp(z[e]);
-    normalize(p);
+    rank_pref_[k].resize(z.size());
+    refresh_rank_pref(k);
   }
 
   q_.assign(static_cast<std::size_t>(cfg_.n_layers),
@@ -99,51 +103,107 @@ void GateSimulator::step() {
   realize_counts();
 }
 
+void GateSimulator::refresh_rank_pref(std::size_t k) {
+  const auto& z = pref_logits_[k];
+  auto& p = rank_pref_[k];
+  if (rng_.mode() == Rng::Mode::kVectorized) {
+    vecmath::exp_block(z.data(), p.data(), z.size());
+  } else {
+    // Sequential mode must reproduce pre-vectorization outputs bit-for-bit;
+    // the libmvec exp can differ from std::exp in the last ulp.
+    for (std::size_t e = 0; e < z.size(); ++e) p[e] = std::exp(z[e]);
+  }
+  normalize(p);
+}
+
+void GateSimulator::apply_ou_update(double pop_a, double pop_sd, double pref_a,
+                                    double pref_sd) {
+  // All of one update's walk draws -- popularity plus every (rank, layer)
+  // preference vector -- come from ONE bulk fill_normal (in sequential mode
+  // that concatenation is draw-for-draw identical to the historical
+  // per-vector fills), and the OU update is a single fused pass over the
+  // scratch.
+  const std::size_t E = logits_.size();
+  normal_scratch_.resize(E + pref_logits_.size() * E);
+  rng_.fill_normal(normal_scratch_.data(), normal_scratch_.size());
+  const double* eps = normal_scratch_.data();
+  for (std::size_t e = 0; e < E; ++e)
+    logits_[e] = pop_a * logits_[e] + pop_sd * eps[e];
+  eps += E;
+  for (std::size_t k = 0; k < pref_logits_.size(); ++k, eps += E) {
+    auto& z = pref_logits_[k];
+    for (std::size_t e = 0; e < E; ++e) z[e] = pref_a * z[e] + pref_sd * eps[e];
+    refresh_rank_pref(k);
+  }
+}
+
 void GateSimulator::advance_state() {
   // Popularity random walk with mean reversion (Ornstein-Uhlenbeck): the
   // walk keeps expert popularity moving between iterations (Fig. 4a) while
   // the pull toward 0 keeps its stationary spread bounded, so the
-  // load-balancing mix below can actually flatten the distribution over
-  // training instead of racing a diverging walk. Draws go through the bulk
-  // Rng::fill_normal entry point (sequence-identical to per-call normal())
-  // so the OU walks can later be batched/vectorized in one place.
-  normal_scratch_.resize(logits_.size());
-  rng_.fill_normal(normal_scratch_.data(), normal_scratch_.size());
-  for (std::size_t e = 0; e < logits_.size(); ++e)
-    logits_[e] = 0.985 * logits_[e] + cfg_.drift_sigma * normal_scratch_[e];
-  // Preference drift: hot (rank, expert) affinities wander on a ~50-
-  // iteration timescale while staying sparse (OU stationary spread).
-  for (std::size_t k = 0; k < pref_logits_.size(); ++k) {
-    auto& z = pref_logits_[k];
-    auto& p = rank_pref_[k];
-    normal_scratch_.resize(z.size());
-    rng_.fill_normal(normal_scratch_.data(), z.size());
-    for (std::size_t e = 0; e < z.size(); ++e) {
-      z[e] = cfg_.pref_retention * z[e] +
-             cfg_.pref_drift_sigma * normal_scratch_[e];
-      p[e] = std::exp(z[e]);
-    }
-    normalize(p);
-  }
+  // load-balancing mix can actually flatten the distribution over training
+  // instead of racing a diverging walk. Preference drift: hot (rank, expert)
+  // affinities wander on a ~50-iteration timescale while staying sparse (OU
+  // stationary spread).
+  apply_ou_update(kPopularityRetention, cfg_.drift_sigma, cfg_.pref_retention,
+                  cfg_.pref_drift_sigma);
   // Occasional transition drift so the Markov structure is non-stationary
   // but learnable within a prediction window.
-  if (iter_ % 50 == 0) {
-    for (int l = 1; l < cfg_.n_layers; ++l) {
-      Matrix& m = transitions_[static_cast<std::size_t>(l)];
-      for (int src = 0; src < cfg_.n_experts; ++src) {
-        auto noise = rng_.dirichlet(static_cast<std::size_t>(cfg_.n_experts),
-                                    cfg_.transition_alpha);
-        double col_sum = 0.0;
-        for (int dst = 0; dst < cfg_.n_experts; ++dst) {
-          auto& v = m(static_cast<std::size_t>(dst), static_cast<std::size_t>(src));
-          v = 0.97 * v + 0.03 * noise[static_cast<std::size_t>(dst)];
-          col_sum += v;
-        }
-        for (int dst = 0; dst < cfg_.n_experts; ++dst)
-          m(static_cast<std::size_t>(dst), static_cast<std::size_t>(src)) /= col_sum;
+  if (iter_ % 50 == 0) transition_drift();
+}
+
+void GateSimulator::transition_drift() {
+  const auto E = static_cast<std::size_t>(cfg_.n_experts);
+  gamma_scratch_.resize(E * E);
+  for (int l = 1; l < cfg_.n_layers; ++l) {
+    Matrix& m = transitions_[static_cast<std::size_t>(l)];
+    // One bulk gamma fill per layer; each E-sized chunk normalizes into the
+    // Dirichlet noise for one source column (sequence-identical to the
+    // historical per-column rng_.dirichlet in sequential mode).
+    rng_.fill_gamma(gamma_scratch_.data(), E * E, cfg_.transition_alpha);
+    for (int src = 0; src < cfg_.n_experts; ++src) {
+      double* noise = gamma_scratch_.data() + static_cast<std::size_t>(src) * E;
+      normalize_span(noise, E);
+      double col_sum = 0.0;
+      for (int dst = 0; dst < cfg_.n_experts; ++dst) {
+        auto& v = m(static_cast<std::size_t>(dst), static_cast<std::size_t>(src));
+        v = 0.97 * v + 0.03 * noise[static_cast<std::size_t>(dst)];
+        col_sum += v;
       }
+      for (int dst = 0; dst < cfg_.n_experts; ++dst)
+        m(static_cast<std::size_t>(dst), static_cast<std::size_t>(src)) /= col_sum;
     }
   }
+}
+
+void GateSimulator::advance_steps(int n) {
+  if (n <= 0) return;
+  // Exact discrete-time OU transition: for z' = a z + sigma eps iterated n
+  // times, z_n | z_0 ~ N(a^n z_0, sigma^2 (1 - a^{2n}) / (1 - a^2)). One
+  // draw per dimension replaces n per-iteration draws; the warmup
+  // fast-forward this enables is the single biggest figure-bench saving
+  // (the 100-iteration warmups dominated the gate's RNG volume).
+  const auto moments = [n](double a, double sigma) {
+    const double a2 = a * a;
+    const double an = std::pow(a, n);
+    const double var = std::abs(1.0 - a2) < 1e-12
+                           ? sigma * sigma * n
+                           : sigma * sigma * (1.0 - std::pow(a2, n)) / (1.0 - a2);
+    return std::pair<double, double>(an, std::sqrt(var));
+  };
+  const auto [pop_an, pop_sd] = moments(kPopularityRetention, cfg_.drift_sigma);
+  const auto [pref_an, pref_sd] =
+      moments(cfg_.pref_retention, cfg_.pref_drift_sigma);
+  apply_ou_update(pop_an, pop_sd, pref_an, pref_sd);
+  // The every-50-iterations transition drift is not an OU walk (Dirichlet
+  // noise mixed into column-stochastic matrices), so it has no closed-form
+  // compression; apply it once per boundary the fast-forward crosses --
+  // exactly the iterations k in (iter, iter+n] with k % 50 == 0.
+  const int boundaries = (iter_ + n) / 50 - iter_ / 50;
+  for (int b = 0; b < boundaries; ++b) transition_drift();
+  iter_ += n;
+  refresh_distributions();
+  realize_counts();
 }
 
 void GateSimulator::refresh_distributions() {
@@ -151,41 +211,64 @@ void GateSimulator::refresh_distributions() {
   const double mix = lb_mix();
   const double uniform = 1.0 / static_cast<double>(E);
 
+  // Work buffers carved from one member scratch (this runs every step of the
+  // figure-bench hot loop; no per-call allocation).
+  dist_scratch_.resize(4 * E);
+  double* pi0 = dist_scratch_.data();
+  double* factor = pi0 + E;
+  double* pref_pow_buf = factor + E;
+  double* marginal = pref_pow_buf + E;
+
   // Layer-0 popularity from logits (softmax); the load-balancing loss acts
   // below via marginal flattening, not here.
-  std::vector<double> pi0(E);
   double zmax = logits_[0];
   for (double z : logits_) zmax = std::max(zmax, z);
   for (std::size_t e = 0; e < E; ++e) pi0[e] = std::exp(logits_[e] - zmax);
-  normalize(pi0);
+  normalize_span(pi0, E);
 
   // Load-balancing loss model: experts converge toward equal *total* token
   // counts while each rank keeps its relative preferences -- a fractional
   // step of iterative proportional fitting toward uniform column marginals.
+  // The flattening factor depends only on the layer marginal, so it is
+  // computed once per layer and applied to every rank (identical values to
+  // the historical per-rank pow calls, at 1/ep_ranks the cost).
   auto balance_layer = [&](int l) {
     auto& layer_q = q_[static_cast<std::size_t>(l)];
-    std::vector<double> marginal(E, 0.0);
+    std::fill(marginal, marginal + E, 0.0);
     for (const auto& q : layer_q)
       for (std::size_t e = 0; e < E; ++e) marginal[e] += q[e];
-    normalize(marginal);
+    normalize_span(marginal, E);
+    for (std::size_t e = 0; e < E; ++e)
+      factor[e] = std::pow(uniform / std::max(marginal[e], 1e-9), mix);
     for (auto& q : layer_q) {
-      for (std::size_t e = 0; e < E; ++e)
-        q[e] *= std::pow(uniform / std::max(marginal[e], 1e-9), mix);
+      for (std::size_t e = 0; e < E; ++e) q[e] *= factor[e];
       normalize(q);
     }
   };
 
+  // Personalization weights pref^gamma for every (rank, layer): one block
+  // exp(gamma * log(pref)) pass in vectorized mode, per-element std::pow in
+  // sequential mode (bit-compatible with the historical outputs).
   const double gamma = cfg_.personalization;
-  auto pref_of = [&](int h, int l) -> const std::vector<double>& {
-    return rank_pref_[static_cast<std::size_t>(l) *
-                          static_cast<std::size_t>(cfg_.ep_ranks) +
-                      static_cast<std::size_t>(h)];
+  auto pref_pow_of = [&](int h, int l) -> const double* {
+    const std::size_t k = static_cast<std::size_t>(l) *
+                              static_cast<std::size_t>(cfg_.ep_ranks) +
+                          static_cast<std::size_t>(h);
+    double* out = pref_pow_buf;
+    const auto& pref = rank_pref_[k];
+    if (rng_.mode() == Rng::Mode::kVectorized) {
+      for (std::size_t e = 0; e < E; ++e) out[e] = std::max(pref[e], 1e-9);
+      vecmath::pow_block(out, gamma, out, E);
+    } else {
+      for (std::size_t e = 0; e < E; ++e)
+        out[e] = std::pow(std::max(pref[e], 1e-9), gamma);
+    }
+    return out;
   };
   for (int h = 0; h < cfg_.ep_ranks; ++h) {
     auto& q0 = q_[0][static_cast<std::size_t>(h)];
-    const auto& pref = pref_of(h, 0);
-    for (std::size_t e = 0; e < E; ++e)
-      q0[e] = pi0[e] * std::pow(std::max(pref[e], 1e-9), gamma);
+    const double* pref_pow = pref_pow_of(h, 0);
+    for (std::size_t e = 0; e < E; ++e) q0[e] = pi0[e] * pref_pow[e];
     normalize(q0);
   }
   balance_layer(0);
@@ -195,11 +278,14 @@ void GateSimulator::refresh_distributions() {
     const Matrix& m = transitions_[static_cast<std::size_t>(l)];
     for (int h = 0; h < cfg_.ep_ranks; ++h) {
       auto& q = q_[static_cast<std::size_t>(l)][static_cast<std::size_t>(h)];
-      q = m.mul(q_[static_cast<std::size_t>(l - 1)][static_cast<std::size_t>(h)]);
-      const auto& pref = pref_of(h, l);
-      for (std::size_t e = 0; e < E; ++e) {
-        q[e] *= std::pow(std::max(pref[e], 1e-9), gamma);
-      }
+      const auto& prev =
+          q_[static_cast<std::size_t>(l - 1)][static_cast<std::size_t>(h)];
+      if (rng_.mode() == Rng::Mode::kVectorized)
+        vecmath::matvec_block(m.data().data(), prev.data(), q.data(), E, E);
+      else
+        m.mul_into(prev, q);
+      const double* pref_pow = pref_pow_of(h, l);
+      for (std::size_t e = 0; e < E; ++e) q[e] *= pref_pow[e];
       normalize(q);
     }
     balance_layer(l);
@@ -217,18 +303,22 @@ void GateSimulator::refresh_distributions() {
 void GateSimulator::realize_counts() {
   const auto E = static_cast<std::size_t>(cfg_.n_experts);
   const double n = cfg_.tokens_per_rank;
+  // One bulk fill for every (layer, rank, expert) Gaussian count draw of the
+  // iteration (sequence-identical to the historical per-(layer, rank) fills
+  // in sequential mode), then a fused realize + clamp + renormalize pass.
+  normal_scratch_.resize(static_cast<std::size_t>(cfg_.n_layers) *
+                         static_cast<std::size_t>(cfg_.ep_ranks) * E);
+  rng_.fill_normal(normal_scratch_.data(), normal_scratch_.size());
+  const double* eps = normal_scratch_.data();
   for (int l = 0; l < cfg_.n_layers; ++l) {
     Matrix& c = counts_[static_cast<std::size_t>(l)];
-    for (int h = 0; h < cfg_.ep_ranks; ++h) {
+    for (int h = 0; h < cfg_.ep_ranks; ++h, eps += E) {
       const auto& q = q_[static_cast<std::size_t>(l)][static_cast<std::size_t>(h)];
-      normal_scratch_.resize(E);
-      rng_.fill_normal(normal_scratch_.data(), E);
       double total = 0.0;
       for (std::size_t e = 0; e < E; ++e) {
         const double meanv = n * q[e];
         const double var = n * q[e] * (1.0 - q[e]);
-        double v =
-            meanv + std::sqrt(std::max(var, 0.0)) * normal_scratch_[e];
+        double v = meanv + std::sqrt(std::max(var, 0.0)) * eps[e];
         v = std::max(v, 0.0);
         c(static_cast<std::size_t>(h), e) = v;
         total += v;

@@ -40,6 +40,23 @@ struct GateConfig {
   double lb_final = 0.45;           ///< asymptotic load-balancing mix [0,1]
   double lb_timescale = 2000.0;     ///< iterations to approach lb_final
   std::uint64_t seed = 42;
+  /// Draw-sequence mode of the gate's Rng. kVectorized is the fast path the
+  /// figure benches run (shapes re-validated in EXPERIMENTS.md);
+  /// kSequential reproduces the pre-vectorization draw sequences for pinned
+  /// regression tests.
+  Rng::Mode rng_mode = Rng::Mode::kVectorized;
+};
+
+/// How to advance the gate past warmup iterations (TrainingConfig /
+/// ScenarioSpec::warmup_policy).
+enum class WarmupPolicy {
+  /// skip(n): iterate the stochastic state step by step (exact historical
+  /// trajectory; O(n) draws).
+  kExactSteps,
+  /// advance_steps(n): sample the n-step state directly from the exact
+  /// discrete-time OU transition distribution (one draw per dimension;
+  /// same law, different trajectory).
+  kClosedForm,
 };
 
 class GateSimulator {
@@ -54,6 +71,17 @@ class GateSimulator {
   /// are only materialized on the last step. Used to fast-forward past a
   /// planning snapshot (one-shot-topology staleness).
   void skip(int n);
+
+  /// Fast-forward `n` iterations in closed form: the popularity and
+  /// preference OU walks are sampled directly from the exact n-step
+  /// discrete-time OU transition distribution
+  ///   z_n ~ N(a^n z_0, sigma^2 (1 - a^{2n}) / (1 - a^2)),
+  /// one normal draw per dimension instead of n, and the every-50-iteration
+  /// transition drift is applied once per crossed boundary. Lands on the
+  /// same iteration count with the same state *law* as skip(n) but a
+  /// different sample path; distributions and counts are materialized once
+  /// at the end. This is the WarmupPolicy::kClosedForm warmup fast path.
+  void advance_steps(int n);
 
   int iteration() const { return iter_; }
   const GateConfig& config() const { return cfg_; }
@@ -78,10 +106,29 @@ class GateSimulator {
   /// Current load-balancing mixing coefficient (0 early, -> lb_final).
   double lb_mix() const;
 
+  /// Layer-0 popularity logits (the OU-walk state advance_steps fast-
+  /// forwards); exposed for the closed-form-vs-stepped distribution tests.
+  const std::vector<double>& popularity_logits() const { return logits_; }
+
+  /// Preference logits of one (rank, layer) OU walk (test accessor).
+  const std::vector<double>& preference_logits(int rank, int layer) const {
+    return pref_logits_[static_cast<std::size_t>(layer) *
+                            static_cast<std::size_t>(cfg_.ep_ranks) +
+                        static_cast<std::size_t>(rank)];
+  }
+
  private:
   void advance_state();
+  /// Shared OU-walk update of popularity + every preference vector: one bulk
+  /// fill_normal over all dimensions, then z = a z + sd eps per walk. Called
+  /// with the per-iteration coefficients by advance_state and with the
+  /// n-step transition moments by advance_steps.
+  void apply_ou_update(double pop_a, double pop_sd, double pref_a,
+                       double pref_sd);
+  void transition_drift();
   void refresh_distributions();
   void realize_counts();
+  void refresh_rank_pref(std::size_t k);
 
   GateConfig cfg_;
   Rng rng_;
@@ -97,6 +144,8 @@ class GateSimulator {
   std::vector<std::vector<double>> load_;            // [layer][expert]
   std::vector<Matrix> counts_;                       // [layer] (rank x expert)
   std::vector<double> normal_scratch_;               // bulk fill_normal buffer
+  std::vector<double> gamma_scratch_;                // bulk fill_gamma buffer
+  std::vector<double> dist_scratch_;  // refresh_distributions work buffers
 };
 
 }  // namespace mixnet::moe

@@ -78,6 +78,12 @@ struct TrainingConfig {
   /// so this is what exposes their staleness against drifting traffic; it
   /// is a no-op for fabrics that reconfigure at runtime.
   int warmup_iterations = 100;
+  /// How the warmup iterations are advanced: kClosedForm (default) samples
+  /// the warmup endpoint from the exact n-step OU transition distribution
+  /// (GateSimulator::advance_steps -- one draw per dimension, the figure-
+  /// bench fast path); kExactSteps iterates the historical per-iteration
+  /// walk (GateSimulator::skip).
+  moe::WarmupPolicy warmup_policy = moe::WarmupPolicy::kClosedForm;
   std::uint64_t seed = 42;
 };
 

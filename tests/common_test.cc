@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "common/matrix.h"
 #include "common/rng.h"
@@ -82,14 +84,14 @@ TEST(Rng, NormalMoments) {
   EXPECT_NEAR(stddev(xs), 2.0, 0.05);
 }
 
-// fill_normal is the bulk entry point for the gate simulator's OU walks; a
-// future batched/vectorized implementation must keep producing the exact
-// per-call normal() sequence, or every figure shape shifts.
-TEST(Rng, FillNormalMatchesSequentialDraws) {
+// In Mode::kSequential the bulk entry point must keep producing the exact
+// per-call normal() sequence -- this is the mode pinned tests and historical
+// figure outputs rely on (per-call draws are mode-independent).
+TEST(Rng, SequentialFillNormalMatchesSequentialDraws) {
   for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
                         std::size_t{3}, std::size_t{7}, std::size_t{64},
                         std::size_t{101}}) {
-    Rng a(123), b(123);
+    Rng a(123), b(123, Rng::Mode::kSequential);
     std::vector<double> seq(n), bulk(n);
     for (auto& v : seq) v = a.normal();
     b.fill_normal(bulk.data(), n);
@@ -99,14 +101,135 @@ TEST(Rng, FillNormalMatchesSequentialDraws) {
   }
 }
 
-TEST(Rng, FillNormalConsumesPendingCachedDeviate) {
-  Rng a(9), b(9);
+TEST(Rng, SequentialFillNormalConsumesPendingCachedDeviate) {
+  Rng a(9), b(9, Rng::Mode::kSequential);
   ASSERT_EQ(a.normal(), b.normal());  // both now hold a cached second deviate
   std::vector<double> seq(5), bulk(5);
   for (auto& v : seq) v = a.normal();
   b.fill_normal(bulk.data(), bulk.size());
   EXPECT_EQ(seq, bulk);
   EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+// Pinned pre-vectorization draw sequence (bit patterns captured from the
+// implementation before Rng::Mode existed). If this test fails, sequential
+// mode no longer reproduces historical figure inputs -- that is a breaking
+// change, not a tolerance issue.
+TEST(Rng, SequentialFillNormalPinnedSequence) {
+  const std::uint64_t expected[8] = {
+      0x3ffc5417e416c000ULL,  //  1.7705305967065215
+      0xbfd5ee7a48a2e6e4ULL,  // -0.34268052190200948
+      0x3feb8e4b29faa8d0ULL,  //  0.8611198253541037
+      0x3fec40614a86cbbaULL,  //  0.88285889202085532
+      0x3ff792c61e4765e4ULL,  //  1.4733334715623352
+      0xbf4c224309e4157cULL,  // -0.00085857652064251456
+      0xbfe8b50eb1756e93ULL,  // -0.77210173282533601
+      0xbff296bc20bb0e0aULL,  // -1.1618005064527801
+  };
+  Rng r(123, Rng::Mode::kSequential);
+  double buf[8];
+  r.fill_normal(buf, 8);
+  for (int i = 0; i < 8; ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &buf[i], sizeof(bits));
+    EXPECT_EQ(bits, expected[i]) << "draw " << i;
+  }
+}
+
+// Pinned sequential gamma/dirichlet draws (captured pre-vectorization):
+// fill_gamma in sequential mode must equal per-call gamma(), and the
+// per-call paths themselves must stay put.
+TEST(Rng, SequentialGammaAndDirichletPinned) {
+  {
+    Rng a(77), b(77, Rng::Mode::kSequential);
+    double bulk[4];
+    b.fill_gamma(bulk, 4, 0.25);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(a.gamma(0.25), bulk[i]) << i;
+    EXPECT_DOUBLE_EQ(bulk[0], 0.012062086402207709);
+    EXPECT_DOUBLE_EQ(bulk[3], 0.85614784292842494);
+  }
+  {
+    Rng a(77), b(77, Rng::Mode::kSequential);
+    const auto v = a.dirichlet(6, 0.08);
+    double bulk[6];
+    b.fill_dirichlet(bulk, 6, 0.08);
+    for (int i = 0; i < 6; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], bulk[i]) << i;
+    EXPECT_DOUBLE_EQ(bulk[3], 0.99858319444417454);
+  }
+}
+
+// The vectorized fast path owns a different draw sequence (that is the
+// point: block Box-Muller instead of pair-at-a-time), but must stay a
+// standard normal sampler. Moments over a large batch.
+TEST(Rng, VectorizedFillNormalMoments) {
+  Rng r(11, Rng::Mode::kVectorized);
+  std::vector<double> xs(200000);
+  r.fill_normal(xs.data(), xs.size());
+  EXPECT_NEAR(mean(xs), 0.0, 0.01);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.01);
+  double skew = 0.0, kurt = 0.0;
+  for (double x : xs) {
+    skew += x * x * x;
+    kurt += x * x * x * x;
+  }
+  skew /= static_cast<double>(xs.size());
+  kurt /= static_cast<double>(xs.size());
+  EXPECT_NEAR(skew, 0.0, 0.05);
+  EXPECT_NEAR(kurt, 3.0, 0.1);
+}
+
+TEST(Rng, VectorizedFillNormalHandlesOddSizesAndCache) {
+  // Odd-length fills leave a cached second deviate exactly like normal();
+  // back-to-back fills of awkward sizes consume the same uniform stream as
+  // one big fill and produce the same values up to SIMD lane-vs-epilogue
+  // rounding (the same element can land in a vector lane in one split and
+  // the scalar remainder loop in another).
+  Rng a(5, Rng::Mode::kVectorized), b(5, Rng::Mode::kVectorized);
+  std::vector<double> one(1037), parts(1037);
+  a.fill_normal(one.data(), one.size());
+  b.fill_normal(parts.data(), 1);
+  b.fill_normal(parts.data() + 1, 511);
+  b.fill_normal(parts.data() + 512, 2);
+  b.fill_normal(parts.data() + 514, 523);
+  for (std::size_t i = 0; i < one.size(); ++i)
+    EXPECT_NEAR(one[i], parts[i], 1e-9) << "i=" << i;
+  // The underlying generator state is exactly aligned afterwards.
+  EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, VectorizedFillGammaMoments) {
+  // Gamma(k, 1) has mean k and variance k. Cover the shape-boost branch
+  // (k < 1, the transition-drift concentration 0.08) and the direct branch.
+  for (double shape : {0.08, 0.25, 1.0, 3.5}) {
+    Rng r(29, Rng::Mode::kVectorized);
+    std::vector<double> xs(400000);
+    r.fill_gamma(xs.data(), xs.size(), shape);
+    double m = mean(xs);
+    double var = 0.0;
+    for (double x : xs) var += (x - m) * (x - m);
+    var /= static_cast<double>(xs.size());
+    EXPECT_NEAR(m, shape, 0.05 * std::max(shape, 0.2)) << "shape=" << shape;
+    EXPECT_NEAR(var, shape, 0.08 * std::max(shape, 0.2)) << "shape=" << shape;
+  }
+}
+
+TEST(Rng, VectorizedFillDirichletNormalized) {
+  Rng r(31, Rng::Mode::kVectorized);
+  std::vector<double> v(256);
+  r.fill_dirichlet(v.data(), v.size(), 0.08);
+  double s = 0.0;
+  for (double x : v) {
+    EXPECT_GE(x, 0.0);
+    s += x;
+  }
+  EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+TEST(Rng, ForkInheritsMode) {
+  Rng seq(3, Rng::Mode::kSequential);
+  Rng vec(3, Rng::Mode::kVectorized);
+  EXPECT_EQ(seq.fork().mode(), Rng::Mode::kSequential);
+  EXPECT_EQ(vec.fork().mode(), Rng::Mode::kVectorized);
 }
 
 TEST(Rng, DirichletSumsToOne) {

@@ -90,6 +90,16 @@ TEST(ScenarioSpec, ConfigureIsTheLastWordIncludingSeed) {
   EXPECT_EQ(cfg.seed, 7u);
 }
 
+TEST(ScenarioSpec, WarmupPolicyDefaultsClosedFormAndOverrides) {
+  EXPECT_EQ(ScenarioSpec().build_config().warmup_policy,
+            moe::WarmupPolicy::kClosedForm);
+  EXPECT_EQ(ScenarioSpec()
+                .warmup_policy(moe::WarmupPolicy::kExactSteps)
+                .build_config()
+                .warmup_policy,
+            moe::WarmupPolicy::kExactSteps);
+}
+
 TEST(SweepSpec, NoAxesYieldsSinglePoint) {
   const Sweep sweep = SweepSpec(tiny_spec().iterations(2)).expand();
   ASSERT_EQ(sweep.size(), 1u);

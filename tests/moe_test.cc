@@ -228,6 +228,133 @@ TEST(Gate, SkipMatchesSteppedStochasticState) {
   EXPECT_GT(diff, 1e-3);
 }
 
+TEST(Gate, SequentialModeReproducesPreVectorizationOutputs) {
+  // Pinned regression: with Rng::Mode::kSequential the gate must reproduce
+  // the exact dispatch counts and loads the pre-vectorization implementation
+  // produced (bit patterns captured before the batched fills landed). This
+  // holds because sequential bulk fills are draw-for-draw identical to the
+  // historical per-call/per-vector draws they replaced.
+  GateConfig g;
+  g.n_experts = 6;
+  g.n_layers = 3;
+  g.ep_ranks = 4;
+  g.tokens_per_rank = 512.0;
+  g.seed = 7;
+  g.rng_mode = Rng::Mode::kSequential;
+  GateSimulator gs(g);
+  for (int i = 0; i < 3; ++i) gs.step();
+  const double expected_counts[6] = {45.382850449753164,  19.156219504208721,
+                                     146.61289342298059,  204.99057483848009,
+                                     39.391795506977914,  56.465666277599539};
+  const Matrix& c = gs.dispatch_counts(1);
+  for (int e = 0; e < 6; ++e)
+    EXPECT_DOUBLE_EQ(c(0, static_cast<std::size_t>(e)), expected_counts[e]) << e;
+  const double expected_loads[6] = {0.0016996282440528126, 0.20214279625713574,
+                                    0.025705932670656642,  0.023363803178464562,
+                                    0.20494120777493796,   0.54214663187475232};
+  for (int e = 0; e < 6; ++e)
+    EXPECT_DOUBLE_EQ(gs.expert_load(2)[static_cast<std::size_t>(e)],
+                     expected_loads[e]) << e;
+}
+
+TEST(Gate, AdvanceStepsLandsOnIterationWithValidState) {
+  GateConfig g = small_gate();
+  GateSimulator a(g);
+  a.advance_steps(25);
+  EXPECT_EQ(a.iteration(), 25);
+  for (int l = 0; l < g.n_layers; ++l) {
+    double s = 0.0;
+    for (double v : a.expert_load(l)) s += v;
+    EXPECT_NEAR(s, 1.0, 1e-9);
+    // Realized counts preserve per-rank token totals.
+    const Matrix& c = a.dispatch_counts(l);
+    for (std::size_t h = 0; h < c.rows(); ++h) {
+      double row = 0.0;
+      for (std::size_t e = 0; e < c.cols(); ++e) row += c(h, e);
+      EXPECT_NEAR(row, g.tokens_per_rank, 1e-6);
+    }
+  }
+  // The fast-forward moved the state: loads differ from a fresh simulator.
+  GateSimulator fresh(g);
+  fresh.step();
+  double diff = 0.0;
+  for (std::size_t e = 0; e < a.expert_load(1).size(); ++e)
+    diff += std::abs(a.expert_load(1)[e] - fresh.expert_load(1)[e]);
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Gate, AdvanceStepsMatchesExactOuDistribution) {
+  // advance_steps(n) must sample from the same n-step conditional law the
+  // stepped walk follows: z_n | z_0 ~ N(a^n z_0, sigma^2 (1-a^{2n})/(1-a^2)).
+  // Over many seeds, the centered residual z_n - a^n z_0 of BOTH paths must
+  // show mean ~0 and the analytic variance, for the popularity walk (a =
+  // 0.985, sigma = drift_sigma) and the preference walks (pref_retention /
+  // pref_drift_sigma).
+  const int n = 40, seeds = 200;
+  GateConfig g = small_gate();
+  const double a_pop = 0.985, a_pref = g.pref_retention;
+  auto nstep_sd = [n](double a, double sigma) {
+    return sigma * std::sqrt((1.0 - std::pow(a * a, n)) / (1.0 - a * a));
+  };
+  const double sd_pop = nstep_sd(a_pop, g.drift_sigma);
+  const double sd_pref = nstep_sd(a_pref, g.pref_drift_sigma);
+  std::vector<double> res_pop_closed, res_pop_stepped, res_pref_closed,
+      res_pref_stepped;
+  for (int s = 0; s < seeds; ++s) {
+    g.seed = 1000 + static_cast<std::uint64_t>(s);
+    GateSimulator z0(g);        // untouched: exposes the initial state
+    GateSimulator closed(g), stepped(g);
+    closed.advance_steps(n);
+    stepped.skip(n);
+    const double an_pop = std::pow(a_pop, n), an_pref = std::pow(a_pref, n);
+    for (std::size_t e = 0; e < z0.popularity_logits().size(); ++e) {
+      const double base = an_pop * z0.popularity_logits()[e];
+      res_pop_closed.push_back(closed.popularity_logits()[e] - base);
+      res_pop_stepped.push_back(stepped.popularity_logits()[e] - base);
+    }
+    for (int r = 0; r < g.ep_ranks; ++r) {
+      for (std::size_t e = 0; e < z0.preference_logits(r, 1).size(); ++e) {
+        const double base = an_pref * z0.preference_logits(r, 1)[e];
+        res_pref_closed.push_back(closed.preference_logits(r, 1)[e] - base);
+        res_pref_stepped.push_back(stepped.preference_logits(r, 1)[e] - base);
+      }
+    }
+  }
+  auto check = [](const std::vector<double>& xs, double sd, const char* what) {
+    double m = 0.0;
+    for (double x : xs) m += x;
+    m /= static_cast<double>(xs.size());
+    double var = 0.0;
+    for (double x : xs) var += (x - m) * (x - m);
+    var /= static_cast<double>(xs.size());
+    EXPECT_NEAR(m, 0.0, 4.0 * sd / std::sqrt(static_cast<double>(xs.size())))
+        << what;
+    EXPECT_NEAR(var, sd * sd, 0.12 * sd * sd) << what;
+  };
+  check(res_pop_closed, sd_pop, "popularity closed-form");
+  check(res_pop_stepped, sd_pop, "popularity stepped");
+  check(res_pref_closed, sd_pref, "preference closed-form");
+  check(res_pref_stepped, sd_pref, "preference stepped");
+}
+
+TEST(Gate, AdvanceStepsAppliesTransitionDriftPerBoundary) {
+  GateConfig g = small_gate();
+  GateSimulator fresh(g), ff(g);
+  const Matrix before = fresh.transition(1);
+  ff.advance_steps(150);  // crosses iterations 50, 100, 150
+  const Matrix& after = ff.transition(1);
+  double moved = 0.0;
+  for (std::size_t i = 0; i < before.rows(); ++i)
+    for (std::size_t j = 0; j < before.cols(); ++j)
+      moved += std::abs(after(i, j) - before(i, j));
+  EXPECT_GT(moved, 1e-3);  // drift happened
+  for (std::size_t src = 0; src < after.cols(); ++src) {
+    double col = 0.0;
+    for (std::size_t dst = 0; dst < after.rows(); ++dst) col += after(dst, src);
+    EXPECT_NEAR(col, 1.0, 1e-9);  // still column-stochastic
+  }
+}
+
 TEST(Gate, PreferenceDriftMovesHotPairs) {
   // The hot entries of the dispatch matrix must wander over ~100 iterations
   // (this is what defeats one-shot topologies).
