@@ -1,41 +1,70 @@
-// mixnet-bench: single CLI over the scenario registry (DESIGN.md §7).
+// mixnet-bench: single CLI over the scenario registry (DESIGN.md §7, §9).
 //
 //   mixnet-bench --list                      enumerate registered scenarios
+//   mixnet-bench --list --format json        machine-readable listing
 //   mixnet-bench --run fig13                 run one scenario (text output)
 //   mixnet-bench --run fig12,fig13 --jobs 8  run several, 8 worker threads
 //   mixnet-bench --run all --format json     every scenario, JSON to stdout
+//   mixnet-bench --run fig13 --shard 1/4     execute this shard's points
+//   mixnet-bench merge --run fig13           render from the shared cache
 //
-// Sweep points execute on a thread pool (--jobs); results are collected by
-// point index, so --jobs 1 and --jobs N print identical tables. Formats:
-// text (the historical figure-harness rendering), csv, json.
+// Sweep points execute through the staged engine (plan -> cache-lookup ->
+// execute -> stream -> merge): each point's canonical content key is looked
+// up in the disk-backed result cache (.mixnet-cache/ by default; see
+// DESIGN.md §9) before any simulation runs, and completed points stream
+// their record to disk as they finish, so a killed run resumes with zero
+// recomputation. `--shard i/N` executes only this process's residue class
+// of the point grid; per-point seeds derive from (base seed, index), so N
+// sharded runs plus `merge` are byte-identical to a serial run.
+//
+// Exit codes (README "Exit codes"): 0 success; 1 unknown scenario or
+// scenario failure; 2 usage error; 3 paper-shape check violation;
+// 4 one or more sweep points failed (summary on stderr).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "exp/registry.h"
+#include "exp/result_cache.h"
 
 namespace {
 
+using mixnet::exp::ResultCache;
 using mixnet::exp::RunContext;
 using mixnet::exp::ScenarioInfo;
 using mixnet::exp::ScenarioRegistry;
 using mixnet::exp::ScenarioResult;
+using mixnet::exp::SweepStats;
 
 int usage(const char* argv0, int code) {
   std::fprintf(
       code == 0 ? stdout : stderr,
-      "Usage: %s [--list] [--run NAME[,NAME...]|all] [--jobs N]\n"
-      "          [--format text|csv|json] [--check]\n"
+      "Usage: %s [merge] [--list] [--run NAME[,NAME...]|all] [--jobs N]\n"
+      "          [--format text|csv|json] [--check] [--cache DIR|--no-cache]\n"
+      "          [--shard I/N] [--stats FILE]\n"
       "\n"
-      "  --list         list registered scenarios and exit\n"
+      "  merge          subcommand: render --run scenarios from the shared\n"
+      "                 result cache (the merge step of a sharded sweep);\n"
+      "                 points missing from the cache are computed and the\n"
+      "                 recomputation count reported on stderr\n"
+      "  --list         list registered scenarios and exit (--format json\n"
+      "                 for a machine-readable listing)\n"
       "  --run NAMES    comma-separated scenario names, or 'all'\n"
       "  --jobs N       worker threads for sweep points (default 1)\n"
       "  --format FMT   output format: text (default), csv, json\n"
       "  --check        run registered paper-shape checks after each\n"
-      "                 scenario; exit 3 on any violation (CI smoke gate)\n",
+      "                 scenario; exit 3 on any violation (CI smoke gate)\n"
+      "  --cache DIR    result-cache directory (default .mixnet-cache, or\n"
+      "                 the MIXNET_CACHE_DIR environment variable)\n"
+      "  --no-cache     disable the result cache (every point recomputes)\n"
+      "  --shard I/N    execute only points with index %% N == I, streaming\n"
+      "                 records into the cache; table output is suppressed\n"
+      "                 (run 'merge' once all shards finish)\n"
+      "  --stats FILE   write per-scenario cache hit/miss stats as JSON\n",
       argv0);
   return code;
 }
@@ -62,16 +91,69 @@ std::vector<std::string> split_names(const std::string& arg) {
   return names;
 }
 
+struct ScenarioStatsEntry {
+  std::string name;
+  SweepStats stats;
+};
+
+std::string stats_json_object(const std::string& name, const SweepStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"points\":%zu,\"hits\":%zu,"
+                "\"computed\":%zu,\"skipped\":%zu,\"failed\":%zu}",
+                name.c_str(), s.points, s.hits, s.computed, s.skipped,
+                s.failed);
+  return buf;
+}
+
+bool write_stats_file(const std::string& path,
+                      const std::vector<ScenarioStatsEntry>& entries) {
+  SweepStats totals;
+  std::string out = "{\"scenarios\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i) out += ',';
+    out += stats_json_object(entries[i].name, entries[i].stats);
+    totals.points += entries[i].stats.points;
+    totals.hits += entries[i].stats.hits;
+    totals.computed += entries[i].stats.computed;
+    totals.skipped += entries[i].stats.skipped;
+    totals.failed += entries[i].stats.failed;
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "],\"totals\":{\"points\":%zu,\"hits\":%zu,\"computed\":%zu,"
+                "\"skipped\":%zu,\"failed\":%zu}}\n",
+                totals.points, totals.hits, totals.computed, totals.skipped,
+                totals.failed);
+  out += buf;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fputs(out.c_str(), f);
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool list = false;
   bool check = false;
+  bool merge = false;
+  bool no_cache = false;
   std::vector<std::string> names;
   std::string format = "text";
+  std::string cache_dir;
+  std::string stats_path;
+  int shard_index = 0, shard_count = 1;
+  bool shard_set = false;
   RunContext ctx;
 
-  for (int i = 1; i < argc; ++i) {
+  int argi = 1;
+  if (argi < argc && std::string(argv[argi]) == "merge") {
+    merge = true;
+    ++argi;
+  }
+  for (int i = argi; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -90,6 +172,27 @@ int main(int argc, char** argv) {
       format = next();
     } else if (arg == "--check") {
       check = true;
+    } else if (arg == "--cache") {
+      cache_dir = next();
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--shard") {
+      const std::string spec = next();
+      const auto slash = spec.find('/');
+      if (slash == std::string::npos) {
+        std::fprintf(stderr, "--shard expects I/N, got: %s\n", spec.c_str());
+        return usage(argv[0], 2);
+      }
+      shard_index = std::atoi(spec.substr(0, slash).c_str());
+      shard_count = std::atoi(spec.substr(slash + 1).c_str());
+      if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count) {
+        std::fprintf(stderr, "--shard: need 0 <= I < N, got: %s\n",
+                     spec.c_str());
+        return usage(argv[0], 2);
+      }
+      shard_set = true;
+    } else if (arg == "--stats") {
+      stats_path = next();
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0], 0);
     } else {
@@ -101,10 +204,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown format: %s\n", format.c_str());
     return usage(argv[0], 2);
   }
+  if (no_cache && (!cache_dir.empty() || shard_set || merge)) {
+    std::fprintf(stderr,
+                 "--no-cache cannot be combined with --cache/--shard/merge\n");
+    return usage(argv[0], 2);
+  }
+  if (merge && shard_set) {
+    std::fprintf(stderr, "merge and --shard are mutually exclusive\n");
+    return usage(argv[0], 2);
+  }
 
   const ScenarioRegistry& registry = ScenarioRegistry::paper();
   if (list) {
-    list_scenarios();
+    if (format == "json")
+      std::fputs(list_scenarios_json(registry).c_str(), stdout);
+    else
+      list_scenarios();
     return 0;
   }
   if (names.empty()) return usage(argv[0], 2);
@@ -124,29 +239,69 @@ int main(int argc, char** argv) {
     selected.push_back(s);
   }
 
+  if (cache_dir.empty()) {
+    const char* env = std::getenv("MIXNET_CACHE_DIR");
+    cache_dir = env && *env ? env : ".mixnet-cache";
+  }
+  std::unique_ptr<ResultCache> cache;
+  if (!no_cache) cache = std::make_unique<ResultCache>(cache_dir);
+  ctx.cache = cache.get();
+  ctx.shard_index = shard_index;
+  ctx.shard_count = shard_count;
+
+  // Shard mode renders nothing: partial grids make partial tables, and the
+  // deliverable is the streamed cache records. `merge` does the rendering.
+  const bool render = !shard_set;
+
   // JSON buffers the whole array so a scenario failure mid-run never leaves
   // an unterminated array on stdout.
   std::string json_out = "[";
   bool json_first = true;
   int shape_violations = 0;
+  std::size_t failed_points = 0;
+  std::vector<ScenarioStatsEntry> stats_entries;
   for (const ScenarioInfo* s : selected) {
     ScenarioResult result;
+    SweepStats stats;
+    ctx.scenario = s->name;
+    ctx.stats = &stats;  // keep-going: per-point errors never abort the run
     try {
       result = s->run(ctx);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "scenario %s failed: %s\n", s->name.c_str(), e.what());
+      std::fprintf(stderr, "scenario %s failed: %s\n", s->name.c_str(),
+                   e.what());
       return 1;
     }
-    if (format == "json") {
-      if (!json_first) json_out += ",\n";
-      json_out += result.to_json();
-      json_first = false;
-    } else if (format == "csv") {
-      std::fputs(result.to_csv().c_str(), stdout);
-    } else {
-      std::fputs(result.to_text().c_str(), stdout);
+    if (render) {
+      if (format == "json") {
+        if (!json_first) json_out += ",\n";
+        json_out += result.to_json();
+        json_first = false;
+      } else if (format == "csv") {
+        std::fputs(result.to_csv().c_str(), stdout);
+      } else {
+        std::fputs(result.to_text().c_str(), stdout);
+      }
     }
-    if (check) {
+    // Cache hit/miss report: one stderr line per scenario, machine-collected
+    // by scripts/verify.sh into BENCH_verify.json via --stats.
+    if (ctx.cache || shard_set) {
+      const char* mode = shard_set ? "shard" : (merge ? "merge" : "cache");
+      std::string prefix = mode;
+      if (shard_set)
+        prefix += " " + std::to_string(shard_index) + "/" +
+                  std::to_string(shard_count);
+      std::fprintf(stderr,
+                   "%s [%s]: %zu points, %zu hits, %zu computed, %zu skipped, "
+                   "%zu failed\n",
+                   prefix.c_str(), s->name.c_str(), stats.points, stats.hits,
+                   stats.computed, stats.skipped, stats.failed);
+    }
+    failed_points += stats.failed;
+    for (const auto& f : stats.failures)
+      std::fprintf(stderr, "point FAILED: %s\n", f.c_str());
+    stats_entries.push_back({s->name, stats});
+    if (check && render) {
       if (!s->check) {
         std::fprintf(stderr, "shape check: %s has no registered check\n",
                      s->name.c_str());
@@ -161,6 +316,12 @@ int main(int argc, char** argv) {
       }
     }
   }
-  if (format == "json") std::printf("%s]\n", json_out.c_str());
-  return shape_violations > 0 ? 3 : 0;
+  if (render && format == "json") std::printf("%s]\n", json_out.c_str());
+  if (!stats_path.empty() && !write_stats_file(stats_path, stats_entries))
+    std::fprintf(stderr, "could not write stats file: %s\n",
+                 stats_path.c_str());
+  if (failed_points > 0)
+    std::fprintf(stderr, "%zu sweep point(s) failed\n", failed_points);
+  if (shape_violations > 0) return 3;
+  return failed_points > 0 ? 4 : 0;
 }

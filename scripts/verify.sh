@@ -58,9 +58,12 @@ smoke_benches=${MIXNET_SMOKE_BENCHES-"fig12 fig13"}
 smoke_jobs=${MIXNET_SMOKE_JOBS-$jobs}
 total_ns=0
 bench_json=""
+stats_tmp=$(mktemp)
+trap 'rm -f "$stats_tmp"' EXIT
 for b in $smoke_benches; do
   start=$(date +%s%N)
-  ./build/bench/mixnet-bench --run "$b" --jobs "$smoke_jobs" --check > /dev/null || {
+  ./build/bench/mixnet-bench --run "$b" --jobs "$smoke_jobs" --check \
+      --stats "$stats_tmp" > /dev/null || {
     status=$?
     echo "verify.sh: mixnet-bench --run $b failed (exit $status)" >&2
     exit "$status"
@@ -68,9 +71,17 @@ for b in $smoke_benches; do
   end=$(date +%s%N)
   dur=$((end - start))
   total_ns=$((total_ns + dur))
-  awk -v d="$dur" -v n="$b" 'BEGIN{printf "smoke %-28s %8.2f s\n", n, d/1e9}'
-  entry=$(awk -v d="$dur" -v n="$b" \
-    'BEGIN{printf "{\"name\":\"%s\",\"seconds\":%.3f}", n, d/1e9}')
+  # Result-cache counters for this scenario (DESIGN.md §9): a warm cache
+  # makes the smoke near-instant, so the perf trajectory records hit/miss
+  # counts alongside wall time to keep the numbers interpretable.
+  hits=$(grep -o '"hits":[0-9]*' "$stats_tmp" | head -1 | cut -d: -f2)
+  computed=$(grep -o '"computed":[0-9]*' "$stats_tmp" | head -1 | cut -d: -f2)
+  points=$(grep -o '"points":[0-9]*' "$stats_tmp" | head -1 | cut -d: -f2)
+  awk -v d="$dur" -v n="$b" -v h="${hits:-0}" -v c="${computed:-0}" \
+    'BEGIN{printf "smoke %-28s %8.2f s  (cache: %d hits, %d computed)\n", n, d/1e9, h, c}'
+  entry=$(awk -v d="$dur" -v n="$b" -v h="${hits:-0}" -v c="${computed:-0}" \
+      -v p="${points:-0}" \
+    'BEGIN{printf "{\"name\":\"%s\",\"seconds\":%.3f,\"cache\":{\"points\":%d,\"hits\":%d,\"computed\":%d}}", n, d/1e9, p, h, c}')
   bench_json="${bench_json:+$bench_json,}$entry"
 done
 awk -v d="$total_ns" 'BEGIN{printf "smoke total bench wall time    %8.2f s\n", d/1e9}'

@@ -1,0 +1,50 @@
+// CanonicalWriter: stable serialization of named config fields for
+// content-addressed cache keys (DESIGN.md §9).
+//
+// A caller records (key, value) fields in any order; canonical_text() sorts
+// them by key before joining, so the digest is insensitive to field
+// *reordering* in the serializing code but sensitive to any *semantic*
+// change (a renamed field, a different value, an added field). Values carry
+// a type tag so e.g. the integer 1 and the string "1" never collide, and
+// doubles are rendered with 17 significant digits, which round-trips every
+// IEEE-754 double uniquely.
+//
+// digest_hex() folds the canonical text through hash64_bytes under two
+// independent seeds, yielding a 128-bit hex key. That is not cryptographic
+// -- it guards against accidental collisions (negligible at these key
+// counts), not adversaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mixnet {
+
+class CanonicalWriter {
+ public:
+  /// Record one field. Throws std::invalid_argument on a duplicate key --
+  /// a duplicate always means two serialization sites disagree about the
+  /// same field, which would make the key ambiguous.
+  CanonicalWriter& field(const std::string& key, std::int64_t v);
+  CanonicalWriter& field(const std::string& key, std::uint64_t v);
+  CanonicalWriter& field(const std::string& key, int v);
+  CanonicalWriter& field(const std::string& key, double v);
+  CanonicalWriter& field(const std::string& key, bool v);
+  CanonicalWriter& field(const std::string& key, const std::string& v);
+  CanonicalWriter& field(const std::string& key, const char* v);
+
+  /// "k1=v1;k2=v2;..." sorted by key; separators inside keys/values are
+  /// backslash-escaped so the text is an injective encoding of the fields.
+  std::string canonical_text() const;
+
+  /// 32 lowercase hex chars (128 bits) over canonical_text().
+  std::string digest_hex() const;
+
+ private:
+  CanonicalWriter& add(const std::string& key, std::string encoded);
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace mixnet

@@ -62,6 +62,28 @@ inline std::uint64_t hash64(const std::vector<int>& xs,
   return hash64(xs.data(), xs.size(), seed);
 }
 
+/// Hash an arbitrary byte span (canonical-serialization digests). Bytes are
+/// packed little-endian into 64-bit lanes; the length is mixed in first so
+/// spans that differ only by trailing zero bytes hash differently.
+inline std::uint64_t hash64_bytes(const void* data, std::size_t n,
+                                  std::uint64_t seed = kHash64Seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = hash64_mix(seed, static_cast<std::uint64_t>(n));
+  while (n >= 8) {
+    std::uint64_t lane;
+    std::memcpy(&lane, p, 8);
+    h = hash64_mix(h, lane);
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    std::uint64_t lane = 0;
+    std::memcpy(&lane, p, n);
+    h = hash64_mix(h, lane);
+  }
+  return hash64_finalize(h);
+}
+
 /// Cheap 64-bit demand-matrix hash: dimensions plus every entry's bit
 /// pattern. Two matrices with the same hash are treated as identical by the
 /// phase cache (see PhaseRunner), which is safe at ~1e-19 collision odds per

@@ -31,6 +31,19 @@ const ScenarioRegistry& ScenarioRegistry::paper() {
   return *registry;
 }
 
+std::string list_scenarios_json(const ScenarioRegistry& registry) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& s : registry.scenarios()) {
+    if (!first) out += ',';
+    out += "{\"name\":\"" + json_escape(s.name) + "\",\"figure\":\"" +
+           json_escape(s.figure) + "\",\"title\":\"" + json_escape(s.title) +
+           "\",\"has_check\":" + (s.check ? "true" : "false") + "}";
+    first = false;
+  }
+  return out + "]\n";
+}
+
 int run_scenario_main(const std::string& name) {
   const ScenarioInfo* s = ScenarioRegistry::paper().find(name);
   if (!s) {
@@ -38,6 +51,9 @@ int run_scenario_main(const std::string& name) {
     return 1;
   }
   RunContext ctx;
+  ctx.scenario = name;
+  SweepStats stats;
+  ctx.stats = &stats;  // keep-going: a bad point never hides the others
   if (const char* jobs = std::getenv("MIXNET_BENCH_JOBS"))
     ctx.jobs = std::max(1, std::atoi(jobs));
   try {
@@ -46,6 +62,13 @@ int run_scenario_main(const std::string& name) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "scenario %s failed: %s\n", name.c_str(), e.what());
     return 1;
+  }
+  if (stats.failed > 0) {
+    std::fprintf(stderr, "%zu of %zu sweep points failed:\n", stats.failed,
+                 stats.points);
+    for (const auto& f : stats.failures)
+      std::fprintf(stderr, "  %s\n", f.c_str());
+    return 4;
   }
   return 0;
 }

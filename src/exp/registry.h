@@ -9,14 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "exp/context.h"
 #include "exp/result_table.h"
 
 namespace mixnet::exp {
-
-/// Execution options threaded into every scenario run.
-struct RunContext {
-  int jobs = 1;  ///< worker threads for sweep execution
-};
 
 struct ScenarioInfo {
   std::string name;     ///< registry/CLI name, e.g. "fig13"
@@ -52,10 +48,16 @@ void register_training_scenarios(ScenarioRegistry& r);  // fig03/10/12/13/14/16/
 void register_cost_scenarios(ScenarioRegistry& r);      // fig11/24 + tables
 void register_hardware_scenarios(ScenarioRegistry& r);  // fig21 + ablation
 
+/// Machine-readable listing of every registered scenario:
+/// [{"name":..,"figure":..,"title":..,"has_check":..},...] plus a final
+/// newline (`mixnet-bench --list --format json`).
+std::string list_scenarios_json(const ScenarioRegistry& registry);
+
 /// Run one registered scenario and print its text rendering to stdout;
-/// returns a process exit code. Worker threads come from the
-/// MIXNET_BENCH_JOBS environment variable (default 1). This is the whole
-/// body of every legacy bench_fig* binary.
+/// returns a process exit code (0 ok, 1 scenario failure, 4 when individual
+/// sweep points failed -- their summary goes to stderr). Worker threads
+/// come from the MIXNET_BENCH_JOBS environment variable (default 1). This
+/// is the whole body of every legacy bench_fig* binary.
 int run_scenario_main(const std::string& name);
 
 }  // namespace mixnet::exp

@@ -1,4 +1,5 @@
-// SweepRunner: execute sweep points on a thread pool (DESIGN.md §7).
+// Staged sweep engine: plan -> cache-lookup -> execute -> stream -> merge
+// (DESIGN.md §7, §9).
 //
 // Each point owns its own TrainingSimulator (the simulator has no shared
 // mutable state -- every stochastic component draws from the point's own
@@ -6,12 +7,22 @@
 // from an atomic counter and write results into a pre-sized vector slot
 // keyed by point index, so the collected ResultTable is identical whether
 // the sweep runs with --jobs 1 or --jobs N.
+//
+// The RunContext overload adds the content-addressed stages: each point's
+// canonical key (exp/cache_key.h) is looked up in the ResultCache before
+// execution; hits are returned with zero simulation work, misses owned by
+// this shard execute and stream their record to disk the moment they
+// finish, and the result vector -- indexed by point, independent of
+// completion order -- is the deterministic merge. Because per-point seeds
+// derive from (base seed, index), an N-way sharded run merged from the
+// cache is bit-identical to a serial run by construction.
 #pragma once
 
 #include <map>
 #include <string>
 #include <vector>
 
+#include "exp/context.h"
 #include "exp/scenario.h"
 
 namespace mixnet::exp {
@@ -30,7 +41,19 @@ struct PointResult {
   /// Probe-recorded custom metrics (see ScenarioSpec::probe).
   std::map<std::string, double> extra;
 
-  const sim::IterationResult& last() const { return iters.back(); }
+  /// Non-empty when the point threw under a keep-going run (ctx.stats set):
+  /// the what() text. Failed points carry zeroed measurements.
+  std::string error;
+  /// Served from the ResultCache (no simulation work this process).
+  bool from_cache = false;
+  /// Owned by another shard and absent from the cache: intentionally not
+  /// executed. Carries zeroed measurements.
+  bool skipped = false;
+
+  bool ok() const { return error.empty() && !skipped; }
+  /// Last measured iteration; a zeroed result for skipped/failed points so
+  /// table code can render partial sweeps without UB.
+  const sim::IterationResult& last() const;
 };
 
 /// Execute one point: build the simulator, run the measured iterations,
@@ -40,9 +63,17 @@ PointResult run_point(const SweepPoint& point);
 /// Execute all points with `jobs` worker threads (<= 1 means serial).
 /// Results are indexed by point index regardless of execution order. A
 /// point that throws rethrows on the caller's thread after all workers
-/// drain.
+/// drain. (Plain path: no cache, no shard, fail-fast -- examples/tests.)
 std::vector<PointResult> run_sweep(const std::vector<SweepPoint>& points,
                                    int jobs = 1);
 std::vector<PointResult> run_sweep(const Sweep& sweep, int jobs = 1);
+
+/// The full engine: cache lookup under ctx.scenario, shard filtering,
+/// streamed records, per-point keep-going error capture into ctx.stats.
+/// Without ctx.stats a throwing point rethrows (fail-fast) after workers
+/// drain; with it the point's error is recorded and the sweep continues.
+std::vector<PointResult> run_sweep(const std::vector<SweepPoint>& points,
+                                   const RunContext& ctx);
+std::vector<PointResult> run_sweep(const Sweep& sweep, const RunContext& ctx);
 
 }  // namespace mixnet::exp

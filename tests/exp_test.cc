@@ -286,5 +286,45 @@ TEST(ScenarioRegistry, AnalyticScenarioRunsEndToEnd) {
   EXPECT_FALSE(r.tables[0].rows().empty());
 }
 
+TEST(ScenarioRegistry, ListScenariosJsonIsWellFormedAndComplete) {
+  const std::string json = list_scenarios_json(ScenarioRegistry::paper());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.substr(json.size() - 2), "]\n");
+  EXPECT_NE(json.find("{\"name\":\"fig13\",\"figure\":\"Figure 13\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"has_check\":true"), std::string::npos);
+  // One object per registered scenario.
+  std::size_t objects = 0;
+  for (std::size_t at = json.find("{\"name\":"); at != std::string::npos;
+       at = json.find("{\"name\":", at + 1))
+    ++objects;
+  EXPECT_EQ(objects, ScenarioRegistry::paper().scenarios().size());
+}
+
+// Golden output for Figure 5, byte-exact against the pre-registry harness
+// (bench_fig05_locality at its last standalone revision). Guards the footer
+// rendering: the "Paper:" note rides as a table footer specifically so no
+// blank line separates it from the locality line -- a drift the registry
+// port introduced once already.
+TEST(ScenarioRegistry, Fig05GoldenOutput) {
+  const ScenarioInfo* s = ScenarioRegistry::paper().find("fig05");
+  ASSERT_NE(s, nullptr);
+  const ScenarioResult r = s->run(RunContext{});
+  EXPECT_EQ(
+      r.to_text(),
+      "\n"
+      "==== Figure 5: 128-GPU traffic matrix: per-32-GPU-block volume (GB) "
+      "====\n"
+      "            blk0        blk1        blk2        blk3        \n"
+      "blk0        427.2       4.3         0.0         0.0         \n"
+      "blk1        0.0         427.8       4.3         0.0         \n"
+      "blk2        0.0         0.0         428.7       4.3         \n"
+      "blk3        0.0         0.0         0.0         426.2       \n"
+      "\n"
+      "block locality (fraction of volume within 32-GPU EP blocks): 0.993\n"
+      "Paper: strong diagonal locality -- EP all-to-all never crosses\n"
+      "MoE-block (PP stage) boundaries.\n");
+}
+
 }  // namespace
 }  // namespace mixnet::exp
