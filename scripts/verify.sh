@@ -11,12 +11,17 @@ set -euo pipefail
 
 usage() {
   cat <<EOF
-Usage: scripts/verify.sh [--jobs N] [--quick] [--help]
+Usage: scripts/verify.sh [--jobs N] [--quick] [--lint] [--help]
 
   --jobs N   worker threads for build, ctest, and the smoke sweep points
              (default: nproc)
   --quick    skip the CTest suite and run only the figures smoke; for fast
              perf iteration — the tier-1 gate is the full run
+  --lint     run the full static-analysis gate too: scripts/lint.sh
+             (mixnet-lint + clang-tidy when available) before the build,
+             and the TSan threaded suites (exp_test, cache_test,
+             phase_cache_test under the tsan preset) after CTest — the
+             whole DESIGN.md §10 gate with one command
   --help     this text
 
 Environment overrides (kept for CI matrix use):
@@ -28,11 +33,13 @@ EOF
 
 jobs=$(nproc)
 quick=0
+lint=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --jobs) shift; jobs=${1:?--jobs needs a value} ;;
     --jobs=*) jobs=${1#--jobs=} ;;
     --quick) quick=1 ;;
+    --lint) lint=1 ;;
     --help|-h) usage; exit 0 ;;
     *) echo "verify.sh: unknown argument '$1'" >&2; usage >&2; exit 2 ;;
   esac
@@ -41,10 +48,26 @@ done
 
 cd "$(dirname "$0")/.."
 
+if [ "$lint" -eq 1 ]; then
+  ./scripts/lint.sh --jobs "$jobs"
+fi
+
 cmake -B build -S .
 if [ "$quick" -eq 0 ]; then
   cmake --build build -j "$jobs"
   (cd build && ctest --output-on-failure -j "$jobs")
+fi
+
+if [ "$lint" -eq 1 ]; then
+  # Race-detector pass over the suites that exercise the threaded sweep
+  # engine (DESIGN.md §10): the three binaries run whole, jobs > 1 inside.
+  echo "== tsan: exp_test cache_test phase_cache_test =="
+  cmake --preset tsan > /dev/null
+  cmake --build --preset tsan -j "$jobs" -t exp_test cache_test phase_cache_test
+  for t in exp_test cache_test phase_cache_test; do
+    TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+      "./build-tsan/tests/$t" --gtest_brief=1
+  done
 fi
 
 # Figure-bench smoke: the two scenarios that stress the phase-simulation

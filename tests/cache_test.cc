@@ -416,5 +416,61 @@ TEST(SweepEngine, KeepGoingRecordsErrorsAndNeverCachesThem) {
   EXPECT_THROW(run_sweep(sweep, strict), std::runtime_error);
 }
 
+TEST(SweepEngine, ParallelStreamingMatchesSerialBitExactly) {
+  // The race-detector companion to the engine tests above, which all run at
+  // the default ctx.jobs = 1: this is the test that drives the full engine
+  // concurrently -- workers streaming ResultCache::put from their own
+  // threads while other workers execute, plus the error_mu-guarded
+  // keep-going error capture -- so the TSan CI job (DESIGN.md §10) observes
+  // every shared write the streaming path performs.
+  const Sweep sweep =
+      SweepSpec(tiny_spec()
+                    .iterations(1)
+                    .seed_policy(SeedPolicy::kPerPoint)
+                    .probe([](sim::TrainingSimulator& simulator, PointResult&) {
+                      if (simulator.config().nic_gbps == 200.0)
+                        throw std::runtime_error("probe exploded");
+                    }))
+          .fabrics({topo::FabricKind::kFatTree, topo::FabricKind::kMixNet})
+          .bandwidths({100.0, 200.0, 400.0})
+          .expand();
+
+  RunContext serial_ctx;
+  serial_ctx.scenario = "figX";
+  SweepStats serial_stats;
+  serial_ctx.stats = &serial_stats;
+  const auto serial = run_sweep(sweep, serial_ctx);
+
+  TempCacheDir dir;
+  ResultCache cache(dir.path);
+  RunContext par_ctx;
+  par_ctx.scenario = "figX";
+  par_ctx.jobs = 4;
+  par_ctx.cache = &cache;
+  SweepStats par_stats;
+  par_ctx.stats = &par_stats;
+  const auto parallel = run_sweep(sweep, par_ctx);
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i)
+    expect_identical(parallel[i], serial[i]);
+  EXPECT_EQ(par_stats.computed, sweep.size());
+  EXPECT_EQ(par_stats.failed, 2u);  // the two nic_gbps == 200 points
+  // Streamed records: every successful point hit the disk; failed points
+  // never do.
+  EXPECT_EQ(cache.size("figX"), sweep.size() - 2);
+
+  // A warm parallel pass serves the good points and recomputes (and
+  // re-fails) only the failed ones, still bit-identical to serial.
+  SweepStats warm_stats;
+  par_ctx.stats = &warm_stats;
+  const auto warm = run_sweep(sweep, par_ctx);
+  EXPECT_EQ(warm_stats.hits, sweep.size() - 2);
+  EXPECT_EQ(warm_stats.computed, 2u);
+  EXPECT_EQ(warm_stats.failed, 2u);
+  for (std::size_t i = 0; i < warm.size(); ++i)
+    expect_identical(warm[i], serial[i]);
+}
+
 }  // namespace
 }  // namespace mixnet::exp

@@ -1,0 +1,9 @@
+#include <chrono>
+#include <cstdlib>
+
+// rand( in a comment must not fire.
+int noisy() { return rand(); }
+const char* label = "calls time( and rand( by name, inside a string";
+long stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,4 @@
+#include <random>
+
+// Allowlisted in determinism.json: the fixture's one blessed entropy site.
+unsigned blessed_seed() { return std::random_device{}(); }

@@ -1,0 +1,9 @@
+#include "sim/training_sim.h"
+
+// Serializes alpha and nest.gamma; beta, nest.delta dropped on purpose.
+// The commented-out line must not count: w.field("beta", cfg.beta);
+void canonicalize_config(const TrainingConfig& cfg) {
+  serialize("alpha", cfg.alpha);
+  serialize("nest.gamma", cfg.nest.gamma);
+  serialize("ghost", cfg.ghost);  // stale line: no such field
+}

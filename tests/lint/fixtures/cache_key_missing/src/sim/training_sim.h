@@ -1,0 +1,17 @@
+#pragma once
+// Miniature TrainingConfig for the cache-key completeness fixture. `beta`
+// is deliberately dropped from cache_key.cc; `nest.gamma` is serialized,
+// `nest.delta` is not; `display_name` is allowlisted.
+
+struct NestedCfg {
+  int gamma = 3;       ///< serialized
+  double delta = 4.0;  ///< MISSING from the serializer
+  double total() const { return gamma + delta; }
+};
+
+struct TrainingConfig {
+  int alpha = 1;       ///< serialized
+  double beta = 2.0;   ///< MISSING from the serializer
+  NestedCfg nest;
+  const char* display_name = "fixture";  ///< allowlisted, non-semantic
+};

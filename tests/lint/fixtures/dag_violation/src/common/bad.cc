@@ -1,0 +1,3 @@
+#include "exp/high.h"
+
+int low_calls_high() { return high(); }

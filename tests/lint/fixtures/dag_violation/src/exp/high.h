@@ -1,0 +1,4 @@
+#pragma once
+// A comment mentioning #include "common/nothing.h" must not register as an
+// include edge.
+inline int high() { return 1; }

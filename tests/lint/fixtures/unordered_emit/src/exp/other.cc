@@ -1,0 +1,4 @@
+#include <unordered_map>
+
+// Not a canonical path: unordered containers are fine here.
+std::unordered_map<int, int> scratch;

@@ -1,0 +1,9 @@
+#include <string>
+#include <unordered_map>
+
+// Emit path iterating an unordered_map: byte order depends on the hash.
+std::string emit(const std::unordered_map<std::string, double>& cells) {
+  std::string out;
+  for (const auto& kv : cells) out += kv.first;
+  return out;
+}
