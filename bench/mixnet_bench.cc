@@ -4,6 +4,7 @@
 //   mixnet-bench --list --format json        machine-readable listing
 //   mixnet-bench --run fig13                 run one scenario (text output)
 //   mixnet-bench --run fig12,fig13 --jobs 8  run several, 8 worker threads
+//   mixnet-bench --run 'serve*' --check      trailing-* prefix glob + checks
 //   mixnet-bench --run all --format json     every scenario, JSON to stdout
 //   mixnet-bench --run fig13 --shard 1/4     execute this shard's points
 //   mixnet-bench merge --run fig13           render from the shared cache
@@ -53,7 +54,9 @@ int usage(const char* argv0, int code) {
       "                 recomputation count reported on stderr\n"
       "  --list         list registered scenarios and exit (--format json\n"
       "                 for a machine-readable listing)\n"
-      "  --run NAMES    comma-separated scenario names, or 'all'\n"
+      "  --run NAMES    comma-separated scenario names, 'all', or trailing-*\n"
+      "                 prefix globs such as 'serve*' (quote them from the\n"
+      "                 shell)\n"
       "  --jobs N       worker threads for sweep points (default 1)\n"
       "  --format FMT   output format: text (default), csv, json\n"
       "  --check        run registered paper-shape checks after each\n"
@@ -226,6 +229,36 @@ int main(int argc, char** argv) {
   if (names.size() == 1 && names[0] == "all") {
     names.clear();
     for (const auto& s : registry.scenarios()) names.push_back(s.name);
+  }
+
+  // Trailing-* prefix globs (e.g. --run 'serve*') expand against the
+  // registry in registration order; exact names pass through untouched.
+  // Duplicates arising from overlapping patterns are dropped, first
+  // occurrence wins, so table output order stays predictable.
+  {
+    std::vector<std::string> expanded;
+    for (const auto& n : names) {
+      if (n.size() >= 2 && n.back() == '*') {
+        const std::string prefix = n.substr(0, n.size() - 1);
+        bool matched = false;
+        for (const auto& s : registry.scenarios())
+          if (s.name.compare(0, prefix.size(), prefix) == 0) {
+            expanded.push_back(s.name);
+            matched = true;
+          }
+        if (!matched) {
+          std::fprintf(stderr, "no scenario matches pattern: %s (try --list)\n",
+                       n.c_str());
+          return 1;
+        }
+      } else {
+        expanded.push_back(n);
+      }
+    }
+    names.clear();
+    for (auto& n : expanded)
+      if (std::find(names.begin(), names.end(), n) == names.end())
+        names.push_back(std::move(n));
   }
 
   // Resolve everything up front so a typo fails before hours of sweeps.

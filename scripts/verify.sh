@@ -72,12 +72,14 @@ fi
 
 # Figure-bench smoke: the two scenarios that stress the phase-simulation
 # path hardest (fig12/fig13 sweep full training iterations over every
-# fabric), executed by `mixnet-bench --run <scenario> --jobs N --check` so
-# sweep points use the requested cores and the registered paper-shape
-# checks (ScenarioInfo::check, see EXPERIMENTS.md) gate the run. In --quick
-# mode only the figures target is built (the test suites are never run).
+# fabric) plus the serving ablation (serve-storm drives the open-loop
+# ServeSimulator and its re-placement control loop end to end), executed by
+# `mixnet-bench --run <scenario> --jobs N --check` so sweep points use the
+# requested cores and the registered paper-shape checks
+# (ScenarioInfo::check, see EXPERIMENTS.md) gate the run. In --quick mode
+# only the figures target is built (the test suites are never run).
 cmake --build build -j "$jobs" -t figures
-smoke_benches=${MIXNET_SMOKE_BENCHES-"fig12 fig13"}
+smoke_benches=${MIXNET_SMOKE_BENCHES-"fig12 fig13 serve-storm"}
 smoke_jobs=${MIXNET_SMOKE_JOBS-$jobs}
 total_ns=0
 bench_json=""

@@ -1,0 +1,46 @@
+#include "control/hotspot.h"
+
+#include <algorithm>
+
+namespace mixnet::control {
+
+HotspotDetector::HotspotDetector(HotspotConfig cfg) : cfg_(cfg) {
+  cfg_.window = std::max(cfg_.window, 1);
+  cfg_.cooldown = std::max(cfg_.cooldown, 0);
+}
+
+bool HotspotDetector::record(const std::vector<double>& loads) {
+  // A dimension change (e.g. a different entity set) restarts the window.
+  if (!window_.empty() && window_.front().size() != loads.size())
+    window_.clear();
+  window_.push_back(loads);
+  if (window_.size() > static_cast<std::size_t>(cfg_.window))
+    window_.pop_front();
+
+  mean_.assign(loads.size(), 0.0);
+  for (const auto& obs : window_)
+    for (std::size_t i = 0; i < obs.size(); ++i) mean_[i] += obs[i];
+  double total = 0.0, peak = 0.0;
+  for (auto& v : mean_) {
+    v /= static_cast<double>(window_.size());
+    total += v;
+    peak = std::max(peak, v);
+  }
+  const bool full = window_.size() == static_cast<std::size_t>(cfg_.window);
+  const double fair =
+      mean_.empty() ? 0.0 : total / static_cast<double>(mean_.size());
+  imbalance_ = (full && fair > 0.0) ? peak / fair : 0.0;
+
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return false;
+  }
+  if (full && imbalance_ >= cfg_.threshold) {
+    ++triggers_;
+    cooldown_left_ = cfg_.cooldown;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mixnet::control

@@ -84,6 +84,10 @@ std::string point_cache_key(const std::string& scenario,
   w.field("scenario", scenario);
   w.field("iterations", point.iterations);
   canonicalize_config(point.cfg, w);
+  // Serving-mode discriminator: a serve point never collides with a training
+  // point over the same cluster config.
+  w.field("has_serve", static_cast<bool>(point.serve));
+  if (point.serve) canonicalize_serve_config(*point.serve, w);
   return w.digest_hex();
 }
 

@@ -22,10 +22,18 @@
 namespace mixnet::exp {
 
 /// Bump on any simulation-semantics change that TrainingConfig cannot see.
-inline constexpr int kCacheSchemaVersion = 1;
+/// v2: serving subsystem (SweepPoint::serve discriminator + ServeConfig
+/// fields join the key material).
+inline constexpr int kCacheSchemaVersion = 2;
 
 /// Serialize every code-relevant TrainingConfig field into `w`.
 void canonicalize_config(const sim::TrainingConfig& cfg, CanonicalWriter& w);
+
+/// Serialize every ServeConfig field into `w` (cache_key_serve.cc — a
+/// separate translation unit so the TrainingConfig completeness analyzer
+/// never sees `scfg.` lines and vice versa).
+void canonicalize_serve_config(const serve::ServeConfig& scfg,
+                               CanonicalWriter& w);
 
 /// The content key of one sweep point under a scenario namespace:
 /// 32 lowercase hex chars.

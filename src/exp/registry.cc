@@ -26,6 +26,7 @@ const ScenarioRegistry& ScenarioRegistry::paper() {
     register_training_scenarios(*r);
     register_cost_scenarios(*r);
     register_hardware_scenarios(*r);
+    register_serve_scenarios(*r);
     return r;
   }();
   return *registry;
@@ -38,6 +39,7 @@ std::string list_scenarios_json(const ScenarioRegistry& registry) {
     if (!first) out += ',';
     out += "{\"name\":\"" + json_escape(s.name) + "\",\"figure\":\"" +
            json_escape(s.figure) + "\",\"title\":\"" + json_escape(s.title) +
+           "\",\"group\":\"" + json_escape(s.group) +
            "\",\"has_check\":" + (s.check ? "true" : "false") + "}";
     first = false;
   }

@@ -25,6 +25,10 @@ struct ScenarioInfo {
   /// and coarse ratios, never exact values, so they survive draw-sequence
   /// re-baselines that keep the figure's shape.
   std::function<std::vector<std::string>(const ScenarioResult&)> check = {};
+  /// Scenario family ("traffic", "training", "cost", "hardware", "serve");
+  /// exposed by `--list --format json` so tooling enumerates groups without
+  /// name-prefix hacks.
+  std::string group;
 };
 
 class ScenarioRegistry {
@@ -47,10 +51,11 @@ void register_traffic_scenarios(ScenarioRegistry& r);   // fig02/04/05/19
 void register_training_scenarios(ScenarioRegistry& r);  // fig03/10/12/13/14/16/25/26/27/28
 void register_cost_scenarios(ScenarioRegistry& r);      // fig11/24 + tables
 void register_hardware_scenarios(ScenarioRegistry& r);  // fig21 + ablation
+void register_serve_scenarios(ScenarioRegistry& r);     // serve-*
 
 /// Machine-readable listing of every registered scenario:
-/// [{"name":..,"figure":..,"title":..,"has_check":..},...] plus a final
-/// newline (`mixnet-bench --list --format json`).
+/// [{"name":..,"figure":..,"title":..,"group":..,"has_check":..},...] plus a
+/// final newline (`mixnet-bench --list --format json`).
 std::string list_scenarios_json(const ScenarioRegistry& registry);
 
 /// Run one registered scenario and print its text rendering to stdout;

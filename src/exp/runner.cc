@@ -8,6 +8,7 @@
 
 #include "exp/cache_key.h"
 #include "exp/result_cache.h"
+#include "serve/serve_sim.h"
 
 namespace mixnet::exp {
 
@@ -16,7 +17,26 @@ const sim::IterationResult& PointResult::last() const {
   return iters.empty() ? kZero : iters.back();
 }
 
+namespace {
+
+/// Serving-mode execution: one ServeSimulator run; every SLO metric rides
+/// in `extra` (the result cache round-trips it verbatim, so serve points
+/// need no record-format change).
+PointResult run_serve_point(const SweepPoint& point) {
+  PointResult res;
+  res.index = point.index;
+  res.iterations = point.iterations;
+  serve::ServeSimulator simulator(point.cfg, *point.serve);
+  const serve::ServeReport report = simulator.run();
+  res.extra = serve::slo_metrics(report, *point.serve);
+  res.iter_sec = ns_to_sec(report.makespan);
+  return res;
+}
+
+}  // namespace
+
 PointResult run_point(const SweepPoint& point) {
+  if (point.serve) return run_serve_point(point);
   PointResult res;
   res.index = point.index;
   res.iterations = point.iterations;

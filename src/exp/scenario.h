@@ -24,9 +24,11 @@
 #include <functional>
 #include <initializer_list>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "serve/serve_config.h"
 #include "sim/training_sim.h"
 
 namespace mixnet::exp {
@@ -116,6 +118,10 @@ struct SweepPoint {
   sim::TrainingConfig cfg;
   int iterations = 1;
   ProbeFn probe;
+  /// Serving-mode point: when set, the runner executes a ServeSimulator over
+  /// this workload (cfg describes the cluster; metrics land in
+  /// PointResult::extra) instead of measured training iterations.
+  std::optional<serve::ServeConfig> serve;
 };
 
 /// The expanded grid: points in row-major order (last axis fastest) plus

@@ -145,11 +145,11 @@ ScenarioResult run_tables(const RunContext&) {
 
 void register_cost_scenarios(ScenarioRegistry& r) {
   r.add({"fig11", "Figure 11", "Networking cost vs cluster size per fabric",
-         run_fig11});
-  r.add({"fig24", "Figure 24", "EPS short-reach link cost options", run_fig24});
+         run_fig11, {}, "cost"});
+  r.add({"fig24", "Figure 24", "EPS short-reach link cost options", run_fig24, {}, "cost"});
   r.add({"tables", "Tables 1-4",
          "Model configs, OCS trade-off, parallelism fit, component prices",
-         run_tables});
+         run_tables, {}, "cost"});
 }
 
 }  // namespace mixnet::exp

@@ -212,10 +212,10 @@ ScenarioResult run_ablation(const RunContext&) {
 void register_hardware_scenarios(ScenarioRegistry& r) {
   r.add({"fig21", "Figures 21-23",
          "OCS reconfiguration delay, control timeline, NIC activation",
-         run_fig21});
+         run_fig21, {}, "hardware"});
   r.add({"ablation", "Ablations 1-3",
          "Circuit policy, allocator variants, skip-identical reconfiguration",
-         run_ablation});
+         run_ablation, {}, "hardware"});
 }
 
 }  // namespace mixnet::exp

@@ -247,12 +247,12 @@ ScenarioResult run_fig19(const RunContext&) {
 
 void register_traffic_scenarios(ScenarioRegistry& r) {
   r.add({"fig02", "Figure 2",
-         "Traffic volume distribution of TP/EP/PP/DP per model", run_fig02});
+         "Traffic volume distribution of TP/EP/PP/DP per model", run_fig02, {}, "traffic"});
   r.add({"fig04", "Figure 4",
-         "All-to-all traffic dynamics: temporal and spatial", run_fig04});
+         "All-to-all traffic dynamics: temporal and spatial", run_fig04, {}, "traffic"});
   r.add({"fig05", "Figure 5",
-         "Cluster-wide GPU-to-GPU traffic matrix locality", run_fig05});
-  r.add({"fig19", "Figure 19", "Copilot top-K prediction accuracy", run_fig19});
+         "Cluster-wide GPU-to-GPU traffic matrix locality", run_fig05, {}, "traffic"});
+  r.add({"fig19", "Figure 19", "Copilot top-K prediction accuracy", run_fig19, {}, "traffic"});
 }
 
 }  // namespace mixnet::exp

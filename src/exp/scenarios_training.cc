@@ -655,28 +655,28 @@ std::vector<std::string> check_fig13(const ScenarioResult& res) {
 
 void register_training_scenarios(ScenarioRegistry& r) {
   r.add({"fig03", "Figure 3 + Figure 17",
-         "MoE-block forward timeline vs micro-batch size", run_fig03});
+         "MoE-block forward timeline vs micro-batch size", run_fig03, {}, "training"});
   r.add({"fig10", "Figure 10",
-         "Testbed iteration time: EPS baseline vs MixNet prototype", run_fig10});
+         "Testbed iteration time: EPS baseline vs MixNet prototype", run_fig10, {}, "training"});
   r.add({"fig12", "Figure 12",
          "Normalized iteration time vs bandwidth, five fabrics", run_fig12,
-         check_fig12});
+         check_fig12, "training"});
   r.add({"fig13", "Figure 13",
          "Performance-cost Pareto analysis per fabric and bandwidth", run_fig13,
-         check_fig13});
+         check_fig13, "training"});
   r.add({"fig14", "Figure 14",
-         "Failure resiliency: NIC/GPU/server failures on MixNet", run_fig14});
+         "Failure resiliency: NIC/GPU/server failures on MixNet", run_fig14, {}, "training"});
   r.add({"fig16", "Figure 16",
          "NVL72 vs MixNet with co-packaged optical I/O (DeepSeek-V3)",
-         run_fig16});
+         run_fig16, {}, "training"});
   r.add({"fig25", "Figure 25", "Speedups at larger batch sizes (32/64)",
-         run_fig25});
+         run_fig25, {}, "training"});
   r.add({"fig26", "Figure 26",
-         "Scalability: tokens/s and perf-per-dollar vs cluster size", run_fig26});
+         "Scalability: tokens/s and perf-per-dollar vs cluster size", run_fig26, {}, "training"});
   r.add({"fig27", "Figure 27",
-         "Optical degree alpha sweep (cost-equivalent)", run_fig27});
+         "Optical degree alpha sweep (cost-equivalent)", run_fig27, {}, "training"});
   r.add({"fig28", "Figure 28",
-         "Sensitivity to OCS reconfiguration latency", run_fig28});
+         "Sensitivity to OCS reconfiguration latency", run_fig28, {}, "training"});
 }
 
 }  // namespace mixnet::exp

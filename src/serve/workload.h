@@ -1,0 +1,40 @@
+// Open-loop request generator (DESIGN.md §11).
+//
+// Arrivals are a (possibly non-homogeneous) Poisson process realized by
+// thinning against the peak rate, so one seeded Rng fully determines the
+// trace: the same (config, seed) pair yields a bit-identical arrival
+// sequence regardless of worker count — the property the serve scenarios'
+// --jobs determinism rides on. Token counts are lognormal, matching the
+// heavy-tailed prompt/output length mix of production serving traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "serve/serve_config.h"
+
+namespace mixnet::serve {
+
+/// One inference request of the open-loop trace.
+struct Request {
+  TimeNs arrival_ns = 0;
+  int prompt_tokens = 0;
+  int output_tokens = 0;
+
+  bool operator==(const Request& o) const {
+    return arrival_ns == o.arrival_ns && prompt_tokens == o.prompt_tokens &&
+           output_tokens == o.output_tokens;
+  }
+};
+
+/// Instantaneous arrival rate (requests/s) at `t_sec` under the config's
+/// shape envelope. Exposed for the workload shape tests.
+double arrival_rate_at(const ServeConfig& cfg, double t_sec);
+
+/// Generate the full open-loop trace: `cfg.n_requests` requests in
+/// non-decreasing arrival order, deterministic in (cfg, seed).
+std::vector<Request> generate_workload(const ServeConfig& cfg,
+                                       std::uint64_t seed);
+
+}  // namespace mixnet::serve

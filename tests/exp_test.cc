@@ -255,14 +255,16 @@ TEST(ScenarioResultEmitters, ComposeTablesAndNote) {
 TEST(ScenarioRegistry, EveryPaperFigureIsRegistered) {
   const auto& reg = ScenarioRegistry::paper();
   const std::vector<std::string> expected = {
-      "fig02", "fig03", "fig04", "fig05", "fig10", "fig11", "fig12",
-      "fig13", "fig14", "fig16", "fig19", "fig21", "fig24", "fig25",
-      "fig26", "fig27", "fig28", "tables", "ablation"};
+      "fig02", "fig03", "fig04", "fig05", "fig10", "fig11",
+      "fig12", "fig13", "fig14", "fig16", "fig19", "fig21",
+      "fig24", "fig25", "fig26", "fig27", "fig28", "tables",
+      "ablation", "serve-steady", "serve-diurnal", "serve-storm"};
   for (const auto& name : expected) {
     const ScenarioInfo* s = reg.find(name);
     ASSERT_NE(s, nullptr) << name;
     EXPECT_FALSE(s->figure.empty());
     EXPECT_FALSE(s->title.empty());
+    EXPECT_FALSE(s->group.empty()) << name;
     EXPECT_TRUE(static_cast<bool>(s->run));
   }
   EXPECT_EQ(reg.scenarios().size(), expected.size());
@@ -293,6 +295,9 @@ TEST(ScenarioRegistry, ListScenariosJsonIsWellFormedAndComplete) {
   EXPECT_NE(json.find("{\"name\":\"fig13\",\"figure\":\"Figure 13\""),
             std::string::npos);
   EXPECT_NE(json.find("\"has_check\":true"), std::string::npos);
+  // Each scenario carries its family for group-level tooling.
+  EXPECT_NE(json.find("\"group\":\"training\""), std::string::npos);
+  EXPECT_NE(json.find("\"group\":\"serve\""), std::string::npos);
   // One object per registered scenario.
   std::size_t objects = 0;
   for (std::size_t at = json.find("{\"name\":"); at != std::string::npos;
