@@ -5,12 +5,19 @@
 // delay (25 ms) to be usable in-training.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "common/rng.h"
 #include "eventsim/simulator.h"
 #include "moe/gate.h"
 #include "net/flowsim.h"
+#include "net/packetsim.h"
 #include "net/routing.h"
 #include "ocs/algorithm.h"
+#include "pkt/engine.h"
 #include "predict/copilot.h"
 #include "topo/fabric.h"
 
@@ -85,6 +92,83 @@ void BM_FlowSimAllToAll(benchmark::State& state) {
   state.SetLabel("flows=" + std::to_string(n * (n - 1)));
 }
 BENCHMARK(BM_FlowSimAllToAll)->Arg(4)->Arg(8)->Arg(16);
+
+// ---------------------------------------------------------------------------
+// Packet-mode throughput: the reference store-and-forward PacketSim (one
+// std::function event per packet hop on the shared calendar) vs the burst
+// engine (POD event heap, SoA tables, slab descriptors) on the same 64-flow
+// fat-tree workload. The engine's speedup is what makes packet-mode runs of
+// full training scenarios affordable (DESIGN.md §12).
+
+struct PacketWorkload {
+  topo::Fabric fabric;
+  std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
+  std::vector<std::vector<net::LinkId>> paths;
+  Bytes flow_bytes = 0.0;
+};
+
+PacketWorkload packet_workload() {
+  topo::FabricConfig cfg;
+  cfg.kind = topo::FabricKind::kFatTree;
+  cfg.n_servers = 8;
+  PacketWorkload w{topo::Fabric::build(cfg), {}, {}, mib(0.25)};
+  net::EcmpRouter router(w.fabric.network());
+  for (int k = 0; k < 64; ++k) {
+    const int src = k % 8;
+    const int dst = (src + 1 + (k / 8) % 7) % 8;
+    w.pairs.emplace_back(w.fabric.server_node(src), w.fabric.server_node(dst));
+    w.paths.push_back(router.route(
+        w.pairs.back().first, w.pairs.back().second,
+        net::mix_hash(static_cast<std::uint64_t>(k))));
+  }
+  return w;
+}
+
+void BM_PacketSimReference(benchmark::State& state) {
+  const PacketWorkload w = packet_workload();
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    eventsim::Simulator sim;
+    net::PacketSim ps(sim, w.fabric.network());
+    int done = 0;
+    for (std::size_t k = 0; k < w.pairs.size(); ++k) {
+      net::PacketFlowSpec s;
+      s.src = w.pairs[k].first;
+      s.dst = w.pairs[k].second;
+      s.size = w.flow_bytes;
+      s.path = w.paths[k];
+      s.on_complete = [&done](TimeNs) { ++done; };
+      ps.start_flow(std::move(s));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(done);
+    // Same packet count the engine reports; PacketSim has no counter.
+    packets += 64ull * static_cast<std::uint64_t>(
+                          std::ceil(w.flow_bytes / 4096.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(packets));
+  state.SetLabel("flows=64");
+}
+BENCHMARK(BM_PacketSimReference);
+
+void BM_BurstEngine(benchmark::State& state) {
+  const PacketWorkload w = packet_workload();
+  pkt::PacketConfig cfg;
+  cfg.burst = static_cast<int>(state.range(0));
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    pkt::Engine eng(w.fabric.network(), cfg);
+    for (std::size_t k = 0; k < w.paths.size(); ++k)
+      eng.add_flow(w.flow_bytes, w.paths[k], 0);
+    while (!eng.advance(kTimeInf).empty()) {
+    }
+    benchmark::DoNotOptimize(eng.packets_forwarded());
+    packets += eng.packets_delivered();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(packets));
+  state.SetLabel("flows=64 burst=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_BurstEngine)->Arg(1)->Arg(16)->Arg(64);
 
 void BM_EcmpRouting(benchmark::State& state) {
   topo::FabricConfig cfg;

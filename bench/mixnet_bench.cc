@@ -31,6 +31,7 @@
 
 #include "exp/registry.h"
 #include "exp/result_cache.h"
+#include "net/transport.h"
 
 namespace {
 
@@ -47,6 +48,7 @@ int usage(const char* argv0, int code) {
       "Usage: %s [merge] [--list] [--run NAME[,NAME...]|all] [--jobs N]\n"
       "          [--format text|csv|json] [--check] [--cache DIR|--no-cache]\n"
       "          [--shard I/N] [--stats FILE]\n"
+      "          [--backend analytic|flow|packet]\n"
       "\n"
       "  merge          subcommand: render --run scenarios from the shared\n"
       "                 result cache (the merge step of a sharded sweep);\n"
@@ -67,7 +69,11 @@ int usage(const char* argv0, int code) {
       "  --shard I/N    execute only points with index %% N == I, streaming\n"
       "                 records into the cache; table output is suppressed\n"
       "                 (run 'merge' once all shards finish)\n"
-      "  --stats FILE   write per-scenario cache hit/miss stats as JSON\n",
+      "  --stats FILE   write per-scenario cache hit/miss stats as JSON\n"
+      "  --backend B    override the network fidelity ladder for every point\n"
+      "                 (analytic, flow, packet; DESIGN.md §12). Scenarios\n"
+      "                 that pin backends per point (e.g. fidelity-ladder)\n"
+      "                 reject the override\n",
       argv0);
   return code;
 }
@@ -196,6 +202,16 @@ int main(int argc, char** argv) {
       shard_set = true;
     } else if (arg == "--stats") {
       stats_path = next();
+    } else if (arg == "--backend") {
+      const std::string b = next();
+      mixnet::net::NetBackend backend;
+      if (!mixnet::net::parse_net_backend(b, &backend)) {
+        std::fprintf(stderr,
+                     "unknown backend: %s (expected analytic, flow, packet)\n",
+                     b.c_str());
+        return usage(argv[0], 2);
+      }
+      ctx.backend_override = backend;
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0], 0);
     } else {
@@ -270,6 +286,20 @@ int main(int argc, char** argv) {
       return 1;
     }
     selected.push_back(s);
+  }
+
+  // A sweep-wide backend override would silently undo a scenario that sets
+  // the backend per point (the fidelity ladder's whole purpose) — refuse.
+  if (ctx.backend_override) {
+    for (const ScenarioInfo* s : selected) {
+      if (s->pins_backend) {
+        std::fprintf(stderr,
+                     "--backend cannot override scenario '%s': it pins the "
+                     "network backend per point\n",
+                     s->name.c_str());
+        return usage(argv[0], 2);
+      }
+    }
   }
 
   if (cache_dir.empty()) {

@@ -37,8 +37,8 @@ struct Engine::Barrier {
   }
 };
 
-Engine::Engine(eventsim::Simulator& sim, topo::Fabric& fabric, net::FlowSim& flows,
-               net::EcmpRouter& router, EngineConfig cfg)
+Engine::Engine(eventsim::Simulator& sim, topo::Fabric& fabric,
+               net::Transport& flows, net::EcmpRouter& router, EngineConfig cfg)
     : sim_(sim), fabric_(fabric), flows_(flows), router_(router), cfg_(cfg) {}
 
 TimeNs Engine::nvswitch_time(Bytes bytes_through_one_gpu) const {

@@ -32,8 +32,8 @@
 
 #include "common/matrix.h"
 #include "eventsim/simulator.h"
-#include "net/flowsim.h"
 #include "net/routing.h"
+#include "net/transport.h"
 #include "topo/fabric.h"
 
 namespace mixnet::collective {
@@ -68,8 +68,10 @@ class Engine {
  public:
   using Callback = std::function<void(TimeNs)>;
 
-  Engine(eventsim::Simulator& sim, topo::Fabric& fabric, net::FlowSim& flows,
-         net::EcmpRouter& router, EngineConfig cfg = {});
+  /// `flows` may be any rung of the fidelity ladder (analytic / fluid /
+  /// packet); the engine only starts flows and consumes completions.
+  Engine(eventsim::Simulator& sim, topo::Fabric& fabric,
+         net::Transport& flows, net::EcmpRouter& router, EngineConfig cfg = {});
 
   /// Point-to-point transfer between two servers (PP activations).
   void send(int src_server, int dst_server, Bytes bytes, Callback done);
@@ -115,7 +117,7 @@ class Engine {
 
   eventsim::Simulator& sim_;
   topo::Fabric& fabric_;
-  net::FlowSim& flows_;
+  net::Transport& flows_;
   net::EcmpRouter& router_;
   EngineConfig cfg_;
   std::uint64_t flow_salt_ = 0;

@@ -63,4 +63,16 @@ std::size_t Simulator::run_until(TimeNs t) {
 
 bool Simulator::step() { return pop_one(); }
 
+TimeNs Simulator::next_time() {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (tombstone_[top.id - 1]) {
+      queue_.pop();
+      continue;
+    }
+    return top.time;
+  }
+  return kTimeInf;
+}
+
 }  // namespace mixnet::eventsim

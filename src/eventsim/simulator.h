@@ -45,6 +45,11 @@ class Simulator {
   /// Process exactly one event if available; returns false on empty queue.
   bool step();
 
+  /// Timestamp of the earliest live event, or kTimeInf when the queue is
+  /// empty. Pops tombstoned entries off the top (lazy deletion, see below)
+  /// but never fires anything and never advances now().
+  TimeNs next_time();
+
   bool empty() const { return live_events_ == 0; }
   std::size_t pending() const { return live_events_; }
 

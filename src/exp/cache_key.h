@@ -24,7 +24,9 @@ namespace mixnet::exp {
 /// Bump on any simulation-semantics change that TrainingConfig cannot see.
 /// v2: serving subsystem (SweepPoint::serve discriminator + ServeConfig
 /// fields join the key material).
-inline constexpr int kCacheSchemaVersion = 2;
+/// v3: fidelity ladder — NetBackend + pkt::PacketConfig join TrainingConfig
+/// and the key material; collectives run on a Transport interface.
+inline constexpr int kCacheSchemaVersion = 3;
 
 /// Serialize every code-relevant TrainingConfig field into `w`.
 void canonicalize_config(const sim::TrainingConfig& cfg, CanonicalWriter& w);

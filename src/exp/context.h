@@ -8,8 +8,11 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "net/transport.h"
 
 namespace mixnet::exp {
 
@@ -50,6 +53,13 @@ struct RunContext {
   /// Engine report sink (optional). When set, a throwing point is recorded
   /// here and the sweep continues; the caller decides the exit code.
   SweepStats* stats = nullptr;
+
+  /// Fidelity-ladder override (`mixnet-bench --backend`): forces every
+  /// point's TrainingConfig::backend before cache-key computation, so
+  /// overridden runs occupy their own cache namespace. Scenarios that pin
+  /// backends per point (ScenarioInfo::pins_backend) reject the override at
+  /// the CLI instead.
+  std::optional<net::NetBackend> backend_override;
 };
 
 }  // namespace mixnet::exp

@@ -27,6 +27,7 @@ const ScenarioRegistry& ScenarioRegistry::paper() {
     register_cost_scenarios(*r);
     register_hardware_scenarios(*r);
     register_serve_scenarios(*r);
+    register_fidelity_scenarios(*r);
     return r;
   }();
   return *registry;
@@ -40,7 +41,8 @@ std::string list_scenarios_json(const ScenarioRegistry& registry) {
     out += "{\"name\":\"" + json_escape(s.name) + "\",\"figure\":\"" +
            json_escape(s.figure) + "\",\"title\":\"" + json_escape(s.title) +
            "\",\"group\":\"" + json_escape(s.group) +
-           "\",\"has_check\":" + (s.check ? "true" : "false") + "}";
+           "\",\"has_check\":" + (s.check ? "true" : "false") +
+           ",\"pins_backend\":" + (s.pins_backend ? "true" : "false") + "}";
     first = false;
   }
   return out + "]\n";

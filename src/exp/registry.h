@@ -25,10 +25,14 @@ struct ScenarioInfo {
   /// and coarse ratios, never exact values, so they survive draw-sequence
   /// re-baselines that keep the figure's shape.
   std::function<std::vector<std::string>(const ScenarioResult&)> check = {};
-  /// Scenario family ("traffic", "training", "cost", "hardware", "serve");
-  /// exposed by `--list --format json` so tooling enumerates groups without
-  /// name-prefix hacks.
+  /// Scenario family ("traffic", "training", "cost", "hardware", "serve",
+  /// "fidelity"); exposed by `--list --format json` so tooling enumerates
+  /// groups without name-prefix hacks.
   std::string group;
+  /// True when the scenario sets TrainingConfig::backend per point (e.g. the
+  /// fidelity ladder sweeps it as an axis). `mixnet-bench --backend` refuses
+  /// to override such scenarios instead of silently un-pinning them.
+  bool pins_backend = false;
 };
 
 class ScenarioRegistry {
@@ -52,10 +56,12 @@ void register_training_scenarios(ScenarioRegistry& r);  // fig03/10/12/13/14/16/
 void register_cost_scenarios(ScenarioRegistry& r);      // fig11/24 + tables
 void register_hardware_scenarios(ScenarioRegistry& r);  // fig21 + ablation
 void register_serve_scenarios(ScenarioRegistry& r);     // serve-*
+void register_fidelity_scenarios(ScenarioRegistry& r);  // fidelity-ladder
 
 /// Machine-readable listing of every registered scenario:
-/// [{"name":..,"figure":..,"title":..,"group":..,"has_check":..},...] plus a
-/// final newline (`mixnet-bench --list --format json`).
+/// [{"name":..,"figure":..,"title":..,"group":..,"has_check":..,
+/// "pins_backend":..},...] plus a final newline
+/// (`mixnet-bench --list --format json`).
 std::string list_scenarios_json(const ScenarioRegistry& registry);
 
 /// Run one registered scenario and print its text rendering to stdout;

@@ -137,6 +137,16 @@ std::vector<PointResult> run_sweep(const Sweep& sweep, int jobs) {
 
 std::vector<PointResult> run_sweep(const std::vector<SweepPoint>& points,
                                    const RunContext& ctx) {
+  // Backend override (`mixnet-bench --backend`): rewrite the points *before*
+  // cache keys are computed, so overridden runs hash — and cache — as what
+  // they actually simulate.
+  if (ctx.backend_override) {
+    std::vector<SweepPoint> overridden = points;
+    for (SweepPoint& p : overridden) p.cfg.backend = *ctx.backend_override;
+    RunContext sub = ctx;
+    sub.backend_override.reset();
+    return run_sweep(overridden, sub);
+  }
   std::vector<PointResult> results(points.size());
   if (points.empty()) return results;
   const int shard_count = std::max(1, ctx.shard_count);

@@ -38,6 +38,11 @@ ScenarioSpec& ScenarioSpec::link_gbps(double g) {
   return *this;
 }
 
+ScenarioSpec& ScenarioSpec::backend(net::NetBackend b) {
+  cfg_.backend = b;
+  return *this;
+}
+
 ScenarioSpec& ScenarioSpec::micro_batch(int sequences) {
   micro_batch_ = sequences;
   return *this;

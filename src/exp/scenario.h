@@ -63,6 +63,10 @@ class ScenarioSpec {
   ScenarioSpec& model(const moe::MoeModelConfig& m);
   ScenarioSpec& fabric(topo::FabricKind k);
   ScenarioSpec& link_gbps(double g);
+  /// Fidelity-ladder rung the point simulates its network phases on
+  /// (DESIGN.md §12). Scenario default; `mixnet-bench --backend` overrides
+  /// it sweep-wide unless the scenario pins backends per point.
+  ScenarioSpec& backend(net::NetBackend b);
   ScenarioSpec& micro_batch(int sequences);
   ScenarioSpec& n_microbatches(int n);
   ScenarioSpec& failure(control::FailureScenario f);

@@ -27,27 +27,13 @@
 
 #include "eventsim/simulator.h"
 #include "net/network.h"
+#include "net/transport.h"
 
 namespace mixnet::net {
 
-using FlowId = std::int64_t;
-inline constexpr FlowId kInvalidFlow = -1;
-
-struct FlowSpec {
-  NodeId src = kInvalidNode;
-  NodeId dst = kInvalidNode;
-  Bytes size = 0.0;
-  /// Path of LinkIds from src to dst. May be empty iff src == dst
-  /// (an intra-node transfer that completes after `extra_delay`).
-  std::vector<LinkId> path;
-  /// Additional fixed latency added to the completion time (e.g. software
-  /// launch overhead). Propagation delays of path links are added on top.
-  TimeNs extra_delay = 0;
-  /// Invoked exactly once when the flow's last byte arrives.
-  std::function<void(FlowId, TimeNs)> on_complete;
-};
-
-class FlowSim {
+// FlowId / FlowSpec / the Transport interface live in net/transport.h; this
+// class is the kFlow rung of the fidelity ladder.
+class FlowSim final : public Transport {
  public:
   FlowSim(eventsim::Simulator& sim, const Network& net);
 
@@ -56,7 +42,7 @@ class FlowSim {
 
   /// Begin a flow; the max-min allocation is re-solved once before virtual
   /// time next advances (same-instant starts share one solve).
-  FlowId start_flow(FlowSpec spec);
+  FlowId start_flow(FlowSpec spec) override;
 
   /// Abort a flow without invoking its callback. Returns false if unknown.
   bool cancel_flow(FlowId id);

@@ -1,0 +1,62 @@
+// Fixed-capacity single-producer single-consumer ring buffer.
+//
+// The burst pipeline stages packet descriptors through rings of burst-sized
+// capacity (the dpdk/ndn-dpdk shape: stages exchange fixed bursts, never
+// unbounded queues). Capacity is rounded up to a power of two so index
+// wrapping is a mask, and storage is allocated once at construction — the
+// steady state never touches the allocator.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mixnet::pkt {
+
+template <typename T>
+class Ring {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 1).
+  explicit Ring(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const { return tail_ - head_; }
+  bool empty() const { return head_ == tail_; }
+  bool full() const { return size() == capacity(); }
+
+  /// Returns false (and drops nothing) when full.
+  bool push(const T& v) {
+    if (full()) return false;
+    buf_[tail_++ & mask_] = v;
+    return true;
+  }
+
+  /// Undefined when empty (asserted in debug builds).
+  T pop() {
+    assert(!empty());
+    return buf_[head_++ & mask_];
+  }
+
+  const T& front() const {
+    assert(!empty());
+    return buf_[head_ & mask_];
+  }
+
+  void clear() { head_ = tail_ = 0; }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  // Free-running indices; wrap via mask. size() stays correct across
+  // unsigned overflow because head_ <= tail_ always holds modulo 2^64.
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+};
+
+}  // namespace mixnet::pkt

@@ -8,7 +8,7 @@
 
 #include "common/hash.h"
 #include "eventsim/simulator.h"
-#include "net/flowsim.h"
+#include "pkt/transport.h"
 
 namespace mixnet::sim {
 
@@ -19,9 +19,12 @@ std::uint64_t bytes_hash(Bytes b) {
 }  // namespace
 
 PhaseRunner::PhaseRunner(topo::Fabric& fabric, collective::EngineConfig ecfg,
-                         std::size_t cache_capacity)
+                         std::size_t cache_capacity, net::NetBackend backend,
+                         pkt::PacketConfig pkt)
     : fabric_(fabric),
       ecfg_(ecfg),
+      backend_(backend),
+      pkt_(pkt),
       router_(fabric.network(), /*cache_capacity=*/512,
               /*allow_server_transit=*/fabric.config().kind ==
                   topo::FabricKind::kTopoOpt),
@@ -64,8 +67,9 @@ std::size_t PhaseRunner::CacheKeyHash::operator()(const CacheKey& k) const {
 template <typename LaunchFn>
 TimeNs PhaseRunner::run_phase(const char* label, LaunchFn&& launch) {
   eventsim::Simulator sim;
-  net::FlowSim flows(sim, fabric_.network());
-  collective::Engine engine(sim, fabric_, flows, router_, ecfg_);
+  const std::unique_ptr<net::Transport> flows =
+      pkt::make_transport(backend_, sim, fabric_.network(), pkt_);
+  collective::Engine engine(sim, fabric_, *flows, router_, ecfg_);
   for (const auto& r : relays_) engine.set_relay(r.server, r.peer, r.relay);
   TimeNs done_at = -1;
   launch(engine, [&](TimeNs t) { done_at = t; });

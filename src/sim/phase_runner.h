@@ -32,6 +32,8 @@
 #include "control/failures.h"
 #include "moe/placement.h"
 #include "net/routing.h"
+#include "net/transport.h"
+#include "pkt/config.h"
 #include "topo/fabric.h"
 
 namespace mixnet::sim {
@@ -46,8 +48,12 @@ struct PhaseCacheStats {
 
 class PhaseRunner {
  public:
+  /// `backend` selects the fidelity-ladder rung each phase is simulated on
+  /// (DESIGN.md §12); `pkt` tunes the packet engine when backend == kPacket.
   explicit PhaseRunner(topo::Fabric& fabric, collective::EngineConfig ecfg = {},
-                       std::size_t cache_capacity = 1024);
+                       std::size_t cache_capacity = 1024,
+                       net::NetBackend backend = net::NetBackend::kFlow,
+                       pkt::PacketConfig pkt = {});
 
   /// Relay rules applied to every engine instance (failure scenarios).
   /// Drops every cached phase: relays change results without touching the
@@ -105,6 +111,8 @@ class PhaseRunner {
 
   topo::Fabric& fabric_;
   collective::EngineConfig ecfg_;
+  net::NetBackend backend_;
+  pkt::PacketConfig pkt_;
   net::EcmpRouter router_;
   std::vector<control::RelayRule> relays_;
 

@@ -84,7 +84,8 @@ TrainingSimulator::TrainingSimulator(TrainingConfig cfg) : cfg_(std::move(cfg)) 
   ecfg.a2a_efficiency = cfg_.a2a_efficiency;
   ecfg.ring_efficiency = cfg_.ring_efficiency;
   ecfg.switched_path_efficiency = cfg_.switched_path_efficiency;
-  runner_ = std::make_unique<PhaseRunner>(*fabric_, ecfg);
+  runner_ = std::make_unique<PhaseRunner>(*fabric_, ecfg, /*cache_capacity=*/1024,
+                                          cfg_.backend, cfg_.pkt);
 
   group_servers_ = placement_->ep_group_servers(0, 0);
   rank_to_local_server_ = placement_->ep_rank_to_local_server(0, 0);

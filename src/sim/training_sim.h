@@ -85,6 +85,13 @@ struct TrainingConfig {
   /// walk (GateSimulator::skip).
   moe::WarmupPolicy warmup_policy = moe::WarmupPolicy::kClosedForm;
   std::uint64_t seed = 42;
+
+  /// Fidelity-ladder rung every communication phase is simulated on
+  /// (DESIGN.md §12): contention-free analytic bound, max-min fluid flows
+  /// (the paper's model), or the burst-pipeline packet engine.
+  net::NetBackend backend = net::NetBackend::kFlow;
+  /// Packet-engine tuning; consulted only when backend == kPacket.
+  pkt::PacketConfig pkt;
 };
 
 /// Forward timeline of one MoE block (Fig. 3 rows).

@@ -184,6 +184,18 @@ TEST(CacheKey, SemanticChangesProduceNewKeys) {
   q = p;
   q.cfg.use_copilot = !q.cfg.use_copilot;
   expect_fresh(q, "copilot toggle");
+  q = p;
+  q.cfg.backend = net::NetBackend::kPacket;
+  expect_fresh(q, "network backend change");
+  q = p;
+  q.cfg.pkt.window_packets += 4;
+  expect_fresh(q, "packet window change");
+
+  // pkt.burst is mechanical batching (bit-identical results for any value;
+  // see tools/lint/cache_key.json) -- deliberately NOT part of the key.
+  q = p;
+  q.cfg.pkt.burst = 7;
+  EXPECT_EQ(point_cache_key("figX", q), base);
 
   // Scenario id namespaces the key: fig12 and fig13 share configs but may
   // carry different probes.

@@ -52,6 +52,19 @@ TEST(Simulator, CancelInvalidIdFails) {
   EXPECT_FALSE(sim.cancel(999));
 }
 
+TEST(Simulator, NextTimePeeksEarliestPendingEvent) {
+  Simulator sim;
+  EXPECT_EQ(sim.next_time(), kTimeInf);  // empty calendar
+  sim.schedule_at(40, [] {});
+  const EventId early = sim.schedule_at(10, [] {});
+  EXPECT_EQ(sim.next_time(), 10);
+  // Cancelling the earliest event must skip its tombstone, not report it.
+  sim.cancel(early);
+  EXPECT_EQ(sim.next_time(), 40);
+  sim.run();
+  EXPECT_EQ(sim.next_time(), kTimeInf);
+}
+
 TEST(Simulator, RunUntilStopsAtBoundary) {
   Simulator sim;
   std::vector<TimeNs> fired;

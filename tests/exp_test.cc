@@ -258,7 +258,8 @@ TEST(ScenarioRegistry, EveryPaperFigureIsRegistered) {
       "fig02", "fig03", "fig04", "fig05", "fig10", "fig11",
       "fig12", "fig13", "fig14", "fig16", "fig19", "fig21",
       "fig24", "fig25", "fig26", "fig27", "fig28", "tables",
-      "ablation", "serve-steady", "serve-diurnal", "serve-storm"};
+      "ablation", "serve-steady", "serve-diurnal", "serve-storm",
+      "fidelity-ladder"};
   for (const auto& name : expected) {
     const ScenarioInfo* s = reg.find(name);
     ASSERT_NE(s, nullptr) << name;

@@ -158,6 +158,58 @@ TEST(TrainingSim, IterationCompletesOnAllFabrics) {
   }
 }
 
+TEST(TrainingSim, FidelityLadderOrderedAndBurstInvariant) {
+  // DESIGN.md §12: same truncated fig10-class workload on every backend
+  // rung. Fat-tree (no OCS reconfiguration) so phase times compose purely.
+  auto cfg = [](net::NetBackend b, int burst) {
+    TrainingConfig c;
+    c.model = moe::mixtral_8x7b();
+    c.model.n_blocks = 2;
+    c.fabric_kind = topo::FabricKind::kFatTree;
+    c.nic_gbps = 100.0;
+    c.nics_per_server = 4;
+    c.par = moe::default_parallelism(c.model);
+    c.par.ep = 8;
+    c.par.tp = 4;
+    c.par.pp = 1;
+    c.par.dp = 1;
+    c.par.micro_batch = 2;
+    c.par.n_microbatches = 2;
+    c.par_overridden = true;
+    c.backend = b;
+    c.pkt.burst = burst;
+    return c;
+  };
+  const auto ra =
+      TrainingSimulator(cfg(net::NetBackend::kAnalytic, 64)).run_iteration();
+  const auto rf =
+      TrainingSimulator(cfg(net::NetBackend::kFlow, 64)).run_iteration();
+  const auto rp =
+      TrainingSimulator(cfg(net::NetBackend::kPacket, 64)).run_iteration();
+  EXPECT_GT(ra.total, 0);
+  EXPECT_GT(rf.total, 0);
+  EXPECT_GT(rp.total, 0);
+  // analytic is contention-free: a true lower bound on the fluid model.
+  EXPECT_LE(ra.total, rf.total);
+  EXPECT_LE(ra.ep_comm, rf.ep_comm);
+  // packet vs flow agree on the iteration (the fidelity-ladder scenario
+  // enforces the tight published tolerance; this is the coarse guard).
+  EXPECT_NEAR(static_cast<double>(rp.total) / static_cast<double>(rf.total),
+              1.0, 0.25);
+
+  // Burst width is mechanical batching, never semantics: bit-identical
+  // iteration results for any burst, and across repeated runs.
+  const auto rp1 =
+      TrainingSimulator(cfg(net::NetBackend::kPacket, 1)).run_iteration();
+  const auto rp64 =
+      TrainingSimulator(cfg(net::NetBackend::kPacket, 64)).run_iteration();
+  EXPECT_EQ(rp.total, rp1.total);
+  EXPECT_EQ(rp.total, rp64.total);
+  EXPECT_EQ(rp.ep_comm, rp1.ep_comm);
+  EXPECT_EQ(rp.dp_comm, rp1.dp_comm);
+  EXPECT_EQ(rp.pp_send, rp1.pp_send);
+}
+
 TEST(TrainingSim, MixNetComparableToFatTree) {
   // Fig. 12: MixNet within a modest factor of the non-blocking fat-tree.
   TrainingSimulator ft(base(topo::FabricKind::kFatTree));
