@@ -66,10 +66,7 @@ BENCHMARK(BM_NicMapping);
 
 void BM_FlowSimAllToAll(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  topo::FabricConfig cfg;
-  cfg.kind = topo::FabricKind::kFatTree;
-  cfg.n_servers = n;
-  auto fabric = topo::Fabric::build(cfg);
+  auto fabric = topo::Fabric::build(topo::FabricConfig::fat_tree(n));
   net::EcmpRouter router(fabric.network());
   for (auto _ : state) {
     eventsim::Simulator sim;
@@ -108,10 +105,8 @@ struct PacketWorkload {
 };
 
 PacketWorkload packet_workload() {
-  topo::FabricConfig cfg;
-  cfg.kind = topo::FabricKind::kFatTree;
-  cfg.n_servers = 8;
-  PacketWorkload w{topo::Fabric::build(cfg), {}, {}, mib(0.25)};
+  PacketWorkload w{topo::Fabric::build(topo::FabricConfig::fat_tree(8)), {},
+                   {}, mib(0.25)};
   net::EcmpRouter router(w.fabric.network());
   for (int k = 0; k < 64; ++k) {
     const int src = k % 8;
@@ -171,10 +166,7 @@ void BM_BurstEngine(benchmark::State& state) {
 BENCHMARK(BM_BurstEngine)->Arg(1)->Arg(16)->Arg(64);
 
 void BM_EcmpRouting(benchmark::State& state) {
-  topo::FabricConfig cfg;
-  cfg.kind = topo::FabricKind::kFatTree;
-  cfg.n_servers = 128;
-  auto fabric = topo::Fabric::build(cfg);
+  auto fabric = topo::Fabric::build(topo::FabricConfig::fat_tree(128));
   net::EcmpRouter router(fabric.network());
   std::uint64_t h = 0;
   for (auto _ : state) {
@@ -184,6 +176,24 @@ void BM_EcmpRouting(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EcmpRouting);
+
+// Fabric construction at the fig26-xl scale point: 131072 GPUs = 16384
+// servers. Guards the O(n) leaf-spine build (reserve + single pass); Arg(0)
+// is the explicit core, Arg(1) the collapsed analytic core.
+void BM_FabricBuild131k(benchmark::State& state) {
+  const auto model = state.range(0) == 0 ? topo::CoreModel::kExplicit
+                                         : topo::CoreModel::kAnalytic;
+  const auto cfg = topo::FabricConfig::fat_tree(16384).with_core_model(model);
+  std::size_t links = 0;
+  for (auto _ : state) {
+    auto fabric = topo::Fabric::build(cfg);
+    benchmark::DoNotOptimize(fabric.network().link_count());
+    links = fabric.network().link_count();
+  }
+  state.SetLabel(std::string(to_string(model)) +
+                 " links=" + std::to_string(links));
+}
+BENCHMARK(BM_FabricBuild131k)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // GateSimulator hot paths. After the phase cache + incremental rate solver,
 // ~60% of figure-bench samples were gate RNG (refresh_distributions /

@@ -20,14 +20,16 @@ Usage: scripts/verify.sh [--jobs N] [--quick] [--lint] [--help]
   --lint     run the full static-analysis gate too: scripts/lint.sh
              (mixnet-lint + clang-tidy when available) before the build,
              and the TSan threaded suites (exp_test, cache_test,
-             phase_cache_test, pkt_test under the tsan preset) after
-             CTest — the whole DESIGN.md §10 gate with one command
+             phase_cache_test, pkt_test, net_test under the tsan preset)
+             after CTest — the whole DESIGN.md §10 gate with one command
   --help     this text
 
 Environment overrides (kept for CI matrix use):
   MIXNET_SMOKE_BENCHES   space-separated scenario names (default "fig12
-                         fig13 serve-storm fidelity-ladder"; empty skips
-                         the smoke entirely)
+                         fig13 serve-storm fidelity-ladder fig26-xl";
+                         empty skips the smoke entirely)
+  MIXNET_FIG26XL_ARM     fig26-xl arm (small|full; default small — the
+                         smoke runs the small arm, see EXPERIMENTS.md)
   MIXNET_SMOKE_JOBS      smoke worker count (overrides --jobs for the smoke)
 EOF
 }
@@ -62,11 +64,12 @@ fi
 if [ "$lint" -eq 1 ]; then
   # Race-detector pass over the suites that exercise the threaded sweep
   # engine (DESIGN.md §10) plus the packet engine used from sweep worker
-  # threads (DESIGN.md §12): the binaries run whole, jobs > 1 inside.
-  echo "== tsan: exp_test cache_test phase_cache_test pkt_test =="
+  # threads (DESIGN.md §12) and the SoA FlowSim state shared across sweep
+  # points (DESIGN.md §13): the binaries run whole, jobs > 1 inside.
+  echo "== tsan: exp_test cache_test phase_cache_test pkt_test net_test =="
   cmake --preset tsan > /dev/null
-  cmake --build --preset tsan -j "$jobs" -t exp_test cache_test phase_cache_test pkt_test
-  for t in exp_test cache_test phase_cache_test pkt_test; do
+  cmake --build --preset tsan -j "$jobs" -t exp_test cache_test phase_cache_test pkt_test net_test
+  for t in exp_test cache_test phase_cache_test pkt_test net_test; do
     TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
       "./build-tsan/tests/$t" --gtest_brief=1
   done
@@ -77,13 +80,15 @@ fi
 # fabric), the serving ablation (serve-storm drives the open-loop
 # ServeSimulator and its re-placement control loop end to end), and the
 # fidelity ladder (fidelity-ladder runs one workload on all three network
-# backends and machine-gates their agreement, DESIGN.md §12), executed by
-# `mixnet-bench --run <scenario> --jobs N --check` so sweep points use the
-# requested cores and the registered paper-shape checks
+# backends and machine-gates their agreement, DESIGN.md §12), and the
+# analytic-core scaling sweep (fig26-xl small arm gates the explicit-vs-
+# analytic equivalence and the throughput monotonicity, DESIGN.md §13),
+# executed by `mixnet-bench --run <scenario> --jobs N --check` so sweep
+# points use the requested cores and the registered paper-shape checks
 # (ScenarioInfo::check, see EXPERIMENTS.md) gate the run. In --quick mode
 # only the figures target is built (the test suites are never run).
 cmake --build build -j "$jobs" -t figures
-smoke_benches=${MIXNET_SMOKE_BENCHES-"fig12 fig13 serve-storm fidelity-ladder"}
+smoke_benches=${MIXNET_SMOKE_BENCHES-"fig12 fig13 serve-storm fidelity-ladder fig26-xl"}
 smoke_jobs=${MIXNET_SMOKE_JOBS-$jobs}
 total_ns=0
 bench_json=""

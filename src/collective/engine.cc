@@ -108,7 +108,15 @@ void Engine::start_pair_flows(int src_server, int dst_server, Bytes bytes,
     // Channel pinning: stripes of a pair land on distinct NICs, and distinct
     // destinations rotate the starting NIC, like NCCL's channel assignment.
     const int pin = s + dst_server + src_server;
-    auto path = router_.route(a, b, hash, pin);
+    std::vector<net::LinkId> path;
+    TimeNs core_delay = 0;  // collapsed-core hops, charged as fixed latency
+    if (fabric_.analytic_core()) {
+      auto ar = fabric_.route_analytic(src_server, dst_server, hash, pin);
+      path = std::move(ar.path);
+      core_delay = ar.extra_delay;
+    } else {
+      path = router_.route(a, b, hash, pin);
+    }
     if (path.empty()) break;  // unreachable via packet fabric
     barrier->arm();
     // Switched paths pay the packet-fabric goodput tax; a single-hop
@@ -120,6 +128,7 @@ void Engine::start_pair_flows(int src_server, int dst_server, Bytes bytes,
     fs.dst = b;
     fs.size = bytes / n_stripes / eff;
     fs.path = std::move(path);
+    fs.extra_delay = core_delay;
     fs.on_complete = [barrier](net::FlowId, TimeNs t) { barrier->arrive(t); };
     flows_.start_flow(std::move(fs));
     ++launched;

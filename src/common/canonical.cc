@@ -79,6 +79,50 @@ std::string CanonicalWriter::canonical_text() const {
   return out;
 }
 
+std::string CanonicalWriter::json_text() const {
+  auto sorted = fields_;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : sorted) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    for (char c : k) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += "\":";
+    // The stored encoding is type-tagged (see field() overloads), so the
+    // JSON form is recoverable without re-recording values.
+    const char tag = v.empty() ? 's' : v[0];
+    const std::string payload = v.size() >= 2 ? v.substr(2) : std::string();
+    switch (tag) {
+      case 'i':
+      case 'u':
+      case 'f':
+        out += payload;
+        break;
+      case 'b':
+        out += payload == "1" ? "true" : "false";
+        break;
+      default: {  // 's': unescape the canonical-text escaping, JSON-escape
+        out += '"';
+        for (std::size_t i = 0; i < payload.size(); ++i) {
+          char c = payload[i];
+          if (c == '\\' && i + 1 < payload.size()) c = payload[++i];
+          if (c == '"' || c == '\\') out += '\\';
+          out += c;
+        }
+        out += '"';
+        break;
+      }
+    }
+  }
+  out += '}';
+  return out;
+}
+
 std::string CanonicalWriter::digest_hex() const {
   const std::string text = canonical_text();
   // Two independently seeded 64-bit hashes make a 128-bit key; at the cache

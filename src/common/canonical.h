@@ -39,6 +39,13 @@ class CanonicalWriter {
   /// backslash-escaped so the text is an injective encoding of the fields.
   std::string canonical_text() const;
 
+  /// The same fields rendered as one canonical JSON object: keys sorted,
+  /// no whitespace, doubles in the %.17g round-trip form, booleans as
+  /// true/false. Byte-stable across builds for identical field sets, so it
+  /// can serve as both a machine-readable description and a diffable
+  /// fingerprint (topo::Fabric::describe(), `--list --format json`).
+  std::string json_text() const;
+
   /// 32 lowercase hex chars (128 bits) over canonical_text().
   std::string digest_hex() const;
 

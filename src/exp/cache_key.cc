@@ -26,6 +26,7 @@ void canonicalize_config(const sim::TrainingConfig& cfg, CanonicalWriter& w) {
 
   // Fabric.
   w.field("fabric_kind", static_cast<int>(cfg.fabric_kind));
+  w.field("core_model", static_cast<int>(cfg.core_model));
   w.field("nic_gbps", cfg.nic_gbps);
   w.field("nics_per_server", cfg.nics_per_server);
   w.field("gpus_per_server", cfg.gpus_per_server);

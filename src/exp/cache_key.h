@@ -26,7 +26,10 @@ namespace mixnet::exp {
 /// fields join the key material).
 /// v3: fidelity ladder — NetBackend + pkt::PacketConfig join TrainingConfig
 /// and the key material; collectives run on a Transport interface.
-inline constexpr int kCacheSchemaVersion = 3;
+/// v4: analytic-core fabrics — CoreModel joins TrainingConfig and the key
+/// material; SoA FlowSim + arena event pool change floating-point reduction
+/// order, so durations can differ in the last ulp from v3.
+inline constexpr int kCacheSchemaVersion = 4;
 
 /// Serialize every code-relevant TrainingConfig field into `w`.
 void canonicalize_config(const sim::TrainingConfig& cfg, CanonicalWriter& w);

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "topo/fabric.h"
+
 namespace mixnet::exp {
 
 void ScenarioRegistry::add(ScenarioInfo info) {
@@ -34,7 +36,7 @@ const ScenarioRegistry& ScenarioRegistry::paper() {
 }
 
 std::string list_scenarios_json(const ScenarioRegistry& registry) {
-  std::string out = "[";
+  std::string out = "{\"scenarios\":[";
   bool first = true;
   for (const auto& s : registry.scenarios()) {
     if (!first) out += ',';
@@ -45,7 +47,31 @@ std::string list_scenarios_json(const ScenarioRegistry& registry) {
            ",\"pins_backend\":" + (s.pins_backend ? "true" : "false") + "}";
     first = false;
   }
-  return out + "]\n";
+  out += "],\"fabrics\":[";
+  // One entry per topology preset at a reference 64-server size, plus an
+  // analytic-core variant for every kind that supports one; `describe` is
+  // Fabric::describe()'s canonical JSON, embedded verbatim.
+  constexpr int kRefServers = 64;
+  const topo::FabricKind kinds[] = {
+      topo::FabricKind::kFatTree,       topo::FabricKind::kOverSubFatTree,
+      topo::FabricKind::kRailOptimized, topo::FabricKind::kTopoOpt,
+      topo::FabricKind::kMixNet,        topo::FabricKind::kNvl72,
+      topo::FabricKind::kMixNetOpticalIO};
+  first = true;
+  for (topo::FabricKind k : kinds) {
+    for (topo::CoreModel m :
+         {topo::CoreModel::kExplicit, topo::CoreModel::kAnalytic}) {
+      topo::FabricConfig fc =
+          topo::FabricConfig::preset(k, kRefServers).with_core_model(m);
+      if (!fc.validate().empty()) continue;  // kind has no analytic core
+      if (!first) out += ',';
+      out += "{\"kind\":\"" + json_escape(topo::to_string(k)) +
+             "\",\"core_model\":\"" + json_escape(topo::to_string(m)) +
+             "\",\"describe\":" + topo::Fabric::build(fc).describe() + "}";
+      first = false;
+    }
+  }
+  return out + "]}\n";
 }
 
 int run_scenario_main(const std::string& name) {

@@ -52,16 +52,18 @@ class ScenarioRegistry {
 
 // Registration units (one per scenario family; see scenarios_*.cc).
 void register_traffic_scenarios(ScenarioRegistry& r);   // fig02/04/05/19
-void register_training_scenarios(ScenarioRegistry& r);  // fig03/10/12/13/14/16/25/26/27/28
+void register_training_scenarios(ScenarioRegistry& r);  // fig03/10/12/13/14/16/25/26/26-xl/27/28
 void register_cost_scenarios(ScenarioRegistry& r);      // fig11/24 + tables
 void register_hardware_scenarios(ScenarioRegistry& r);  // fig21 + ablation
 void register_serve_scenarios(ScenarioRegistry& r);     // serve-*
 void register_fidelity_scenarios(ScenarioRegistry& r);  // fidelity-ladder
 
-/// Machine-readable listing of every registered scenario:
-/// [{"name":..,"figure":..,"title":..,"group":..,"has_check":..,
-/// "pins_backend":..},...] plus a final newline
-/// (`mixnet-bench --list --format json`).
+/// Machine-readable listing (`mixnet-bench --list --format json`):
+/// {"scenarios":[{"name":..,"figure":..,"title":..,"group":..,
+/// "has_check":..,"pins_backend":..},...],"fabrics":[{"kind":..,
+/// "core_model":..,"describe":{Fabric::describe() canonical JSON}},...]}
+/// plus a final newline. Fabric entries cover every topology preset at a
+/// reference size, including analytic-core variants where supported.
 std::string list_scenarios_json(const ScenarioRegistry& registry);
 
 /// Run one registered scenario and print its text rendering to stdout;

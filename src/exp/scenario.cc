@@ -33,6 +33,11 @@ ScenarioSpec& ScenarioSpec::fabric(topo::FabricKind k) {
   return *this;
 }
 
+ScenarioSpec& ScenarioSpec::core_model(topo::CoreModel m) {
+  cfg_.core_model = m;
+  return *this;
+}
+
 ScenarioSpec& ScenarioSpec::link_gbps(double g) {
   cfg_.nic_gbps = g;
   return *this;

@@ -62,6 +62,9 @@ class ScenarioSpec {
   /// build time (micro-batch/microbatch/dp overrides below still apply).
   ScenarioSpec& model(const moe::MoeModelConfig& m);
   ScenarioSpec& fabric(topo::FabricKind k);
+  /// Electrical-core realization (topo::CoreModel): explicit leaf/spine
+  /// graph (default) or the collapsed analytic core for 100k-GPU sweeps.
+  ScenarioSpec& core_model(topo::CoreModel m);
   ScenarioSpec& link_gbps(double g);
   /// Fidelity-ladder rung the point simulates its network phases on
   /// (DESIGN.md §12). Scenario default; `mixnet-bench --backend` overrides

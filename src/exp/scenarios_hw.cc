@@ -85,12 +85,8 @@ ScenarioResult run_fig21(const RunContext&) {
 // skip-identical reconfiguration.
 
 topo::FabricConfig region8() {
-  topo::FabricConfig fc;
-  fc.kind = topo::FabricKind::kMixNet;
-  fc.n_servers = 8;
-  fc.region_servers = 8;
-  fc.nic_gbps = 100.0;
-  return fc;
+  return topo::FabricConfig::mixnet(8).with_region_servers(8).with_nic_gbps(
+      100.0);
 }
 
 Matrix skewed_demand() {

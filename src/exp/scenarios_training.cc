@@ -6,6 +6,8 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "exp/registry.h"
 #include "exp/runner.h"
 #include "exp/scenario.h"
+#include "topo/fabric.h"
 
 namespace mixnet::exp {
 namespace {
@@ -464,6 +467,157 @@ ScenarioResult run_fig26(const RunContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// fig26-xl: Figure 26's scalability story pushed to 100k+ GPUs on the
+// analytic electrical core (CoreModel::kAnalytic, DESIGN.md §13). The
+// explicit leaf-spine graph is quadratic in flows-over-uplinks at this
+// scale; the analytic core collapses it to per-NIC server uplinks with
+// provably identical max-min allocations at oversub <= 1. The scenario
+// carries its own proof obligations: explicit-vs-analytic iteration times
+// must agree at small scale, and normalized throughput must grow
+// monotonically with cluster size (the paper's linear-scaling shape).
+// MIXNET_FIG26XL_ARM=full adds the 8k/65k/131k-GPU analytic points (the
+// default "small" arm is the CI smoke configuration).
+
+ScenarioResult run_fig26_xl(const RunContext& ctx) {
+  const auto model = moe::mixtral_8x7b();
+  const char* arm_env = std::getenv("MIXNET_FIG26XL_ARM");
+  const bool full = arm_env != nullptr && std::string(arm_env) == "full";
+
+  auto dp_for = [](int gpus) {
+    return [gpus](ScenarioSpec& s) {
+      s.configure([gpus](sim::TrainingConfig& cfg) {
+        cfg.par.dp = gpus / cfg.par.gpus_per_replica();
+      });
+    };
+  };
+
+  ScenarioResult out;
+  out.name = "fig26-xl";
+
+  // -- Equivalence arm: same seed, same config, both core models. ----------
+  const std::vector<int> eq_sizes = {1024, 2048};
+  {
+    std::vector<AxisValue> size_axis;
+    for (int gpus : eq_sizes)
+      size_axis.push_back({std::to_string(gpus), dp_for(gpus)});
+    std::vector<AxisValue> core_axis;
+    for (topo::CoreModel m :
+         {topo::CoreModel::kExplicit, topo::CoreModel::kAnalytic})
+      core_axis.push_back({topo::to_string(m),
+                           [m](ScenarioSpec& s) { s.core_model(m); }});
+    const Sweep sweep =
+        SweepSpec(ScenarioSpec::paper(model, topo::FabricKind::kFatTree, 400.0,
+                                      /*n_microbatches=*/2))
+            .axis("gpus", std::move(size_axis))
+            .axis("core", std::move(core_axis))
+            .expand();
+    const auto results = run_sweep(sweep, ctx);
+    ResultTable t("fig26-xl equivalence",
+                  "Explicit vs analytic core, non-oversubscribed fat-tree "
+                  "(400 Gbps)",
+                  {"# GPUs", "explicit s/iter", "analytic s/iter", "rel.err"},
+                  18);
+    for (std::size_t s = 0; s < eq_sizes.size(); ++s) {
+      const double te = results[sweep.flat({s, 0})].iter_sec;
+      const double ta = results[sweep.flat({s, 1})].iter_sec;
+      const double rel = te > 0.0 ? std::abs(ta - te) / te : 1.0;
+      t.add_row({std::to_string(eq_sizes[s]), Cell::num(te, 6),
+                 Cell::num(ta, 6), Cell::num(rel, 12)});
+    }
+    out.tables.push_back(std::move(t));
+  }
+
+  // -- Scale arm: analytic core only; the full arm's 65k/131k points are
+  // the graph sizes the explicit core exists to avoid. -----------------
+  std::vector<int> sizes = {1024, 2048, 4096};
+  if (full) sizes.insert(sizes.end(), {8192, 65536, 131072});
+  {
+    std::vector<AxisValue> size_axis;
+    for (int gpus : sizes)
+      size_axis.push_back({std::to_string(gpus), dp_for(gpus)});
+    const Sweep sweep =
+        SweepSpec(ScenarioSpec::paper(model, topo::FabricKind::kFatTree, 400.0,
+                                      /*n_microbatches=*/2)
+                      .core_model(topo::CoreModel::kAnalytic))
+            .axis("gpus", std::move(size_axis))
+            .expand();
+    const auto results = run_sweep(sweep, ctx);
+    const double ref = results[sweep.flat({std::size_t{0}})]
+                           .last()
+                           .tokens_per_sec();
+    ResultTable t("fig26-xl scale",
+                  "Normalized tokens/s vs cluster size, analytic core "
+                  "(400 Gbps)",
+                  {"# GPUs", "tokens/s ratio", "s/iter"}, 18);
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      const auto& r = results[sweep.flat({s})];
+      t.add_row({std::to_string(sizes[s]),
+                 Cell::num(r.last().tokens_per_sec() / ref, 3),
+                 Cell::num(r.iter_sec, 4)});
+    }
+    out.tables.push_back(std::move(t));
+  }
+
+  // The largest swept fabric, as the canonical topology digest tooling
+  // consumes; the shape check asserts the core really was collapsed.
+  const topo::Fabric fab = topo::Fabric::build(
+      topo::FabricConfig::fat_tree(sizes.back() / 8)
+          .with_core_model(topo::CoreModel::kAnalytic));
+  out.note = std::string("arm: ") + (full ? "full" : "small") +
+             "\nfabric: " + fab.describe() +
+             "\nPaper shape: tokens/s scales ~linearly with cluster size; "
+             "the analytic core must reproduce the explicit core's "
+             "iteration times at small scale.";
+  return out;
+}
+
+std::vector<std::string> check_fig26_xl(const ScenarioResult& res) {
+  std::vector<std::string> bad;
+  if (res.tables.size() < 2) {
+    bad.emplace_back("fig26-xl: expected equivalence + scale tables");
+    return bad;
+  }
+  const auto& eq = res.tables[0];
+  if (eq.rows().empty()) bad.emplace_back("fig26-xl: equivalence table empty");
+  for (const auto& row : eq.rows()) {
+    if (row.size() < 4) {
+      bad.emplace_back("fig26-xl: short equivalence row");
+      continue;
+    }
+    // Durations land on the integer-nanosecond grid, so the two core models
+    // may legitimately differ by ulp-level rate noise rounded to a few ns;
+    // 1e-6 relative is ~1000 ns/iter, far below any modeling error.
+    if (!(row[3].value() <= 1e-6))
+      bad.push_back(printf_str(
+          "fig26-xl @%s GPUs: explicit vs analytic rel.err %.3g > 1e-6",
+          row[0].text().c_str(), row[3].value()));
+  }
+  const auto& sc = res.tables[1];
+  if (sc.rows().size() < 3) {
+    bad.emplace_back("fig26-xl: scale table needs >= 3 cluster sizes");
+    return bad;
+  }
+  double prev = 0.0;
+  for (const auto& row : sc.rows()) {
+    if (row.size() < 3 || !(row[1].value() > 0.0) ||
+        !std::isfinite(row[1].value())) {
+      bad.push_back(printf_str("fig26-xl: bad throughput ratio row"));
+      continue;
+    }
+    if (!(row[1].value() > prev))
+      bad.push_back(printf_str(
+          "fig26-xl @%s GPUs: tokens/s ratio %.3f not above previous %.3f "
+          "(scaling must be monotone)",
+          row[0].text().c_str(), row[1].value(), prev));
+    prev = row[1].value();
+  }
+  if (res.note.find("\"core_collapsed\":true") == std::string::npos)
+    bad.emplace_back(
+        "fig26-xl: fabric describe() does not report a collapsed core");
+  return bad;
+}
+
+// ---------------------------------------------------------------------------
 // Figure 27 (§D.6): impact of the optical degree alpha, cost-equivalent
 // comparison (the 8-NIC budget splits alpha OCS : 8-alpha EPS).
 
@@ -673,6 +827,10 @@ void register_training_scenarios(ScenarioRegistry& r) {
          run_fig25, {}, "training"});
   r.add({"fig26", "Figure 26",
          "Scalability: tokens/s and perf-per-dollar vs cluster size", run_fig26, {}, "training"});
+  r.add({"fig26-xl", "Figure 26 (XL)",
+         "100k-GPU scalability on the analytic electrical core "
+         "(MIXNET_FIG26XL_ARM=small|full)",
+         run_fig26_xl, check_fig26_xl, "training"});
   r.add({"fig27", "Figure 27",
          "Optical degree alpha sweep (cost-equivalent)", run_fig27, {}, "training"});
   r.add({"fig28", "Figure 28",

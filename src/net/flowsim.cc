@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 namespace mixnet::net {
 
@@ -18,18 +19,15 @@ FlowSim::FlowSim(eventsim::Simulator& sim, const Network& net) : sim_(sim), net_
 FlowId FlowSim::start_flow(FlowSpec spec) {
   assert((spec.src == spec.dst) == spec.path.empty());
   const FlowId id = next_id_++;
-  ActiveFlow f;
-  f.remaining = std::max<Bytes>(spec.size, 0.0);
-  f.start_time = sim_.now();
-  for (LinkId lid : spec.path) f.path_delay += net_.link(lid).delay;
-  f.spec = std::move(spec);
 
-  if (f.spec.path.empty()) {
+  if (spec.path.empty()) {
     // Intra-node transfer: completes after fixed latency only. Stats are
     // credited when it completes, not now, so mid-sim queries stay honest.
-    auto cb = f.spec.on_complete;
-    const Bytes size = f.remaining;
-    const TimeNs done = sim_.now() + f.spec.extra_delay + 1;
+    // No slot is allocated; the flow never enters the rate solver.
+    id_to_slot_.push_back(kNoSlot);
+    auto cb = std::move(spec.on_complete);
+    const Bytes size = std::max<Bytes>(spec.size, 0.0);
+    const TimeNs done = sim_.now() + spec.extra_delay + 1;
     sim_.schedule_at(done, [this, cb, id, done, size] {
       ++completed_;
       bytes_delivered_ += size;
@@ -39,20 +37,39 @@ FlowId FlowSim::start_flow(FlowSpec spec) {
   }
 
   advance_progress();
-  auto [it, inserted] = flows_.emplace(id, std::move(f));
-  assert(inserted);
-  add_flow_to_links(it->second);
+  const auto slot = static_cast<std::uint32_t>(remaining_.size());
+  id_to_slot_.push_back(slot);
+  TimeNs pd = 0;
+  for (LinkId lid : spec.path) pd += net_.link(lid).delay;
+  remaining_.push_back(std::max<Bytes>(spec.size, 0.0));
+  rate_.push_back(0.0);
+  size_.push_back(std::max<Bytes>(spec.size, 0.0));
+  path_delay_.push_back(pd);
+  extra_delay_.push_back(spec.extra_delay);
+  path_off_.push_back(static_cast<std::uint32_t>(path_arena_.size()));
+  path_len_.push_back(static_cast<std::uint32_t>(spec.path.size()));
+  path_arena_.insert(path_arena_.end(), spec.path.begin(), spec.path.end());
+  flow_id_.push_back(id);
+  alive_.push_back(1);
+  on_complete_.push_back(std::move(spec.on_complete));
+  active_.push_back(slot);
+  ++n_live_;
+
+  add_flow_to_links(slot);
   dirty_ = true;
   schedule_commit();
   return id;
 }
 
 bool FlowSim::cancel_flow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return false;
+  if (id <= 0 || static_cast<std::size_t>(id) > id_to_slot_.size()) return false;
+  const std::uint32_t slot = id_to_slot_[static_cast<std::size_t>(id - 1)];
+  if (slot == kNoSlot || !alive_[slot]) return false;
   advance_progress();
-  remove_flow_from_links(it->second);
-  flows_.erase(it);
+  remove_flow_from_links(slot);
+  alive_[slot] = 0;
+  on_complete_[slot] = nullptr;
+  --n_live_;
   dirty_ = true;
   schedule_commit();
   return true;
@@ -66,8 +83,10 @@ void FlowSim::on_topology_change() {
 
 Bps FlowSim::flow_rate(FlowId id) {
   ensure_rates();
-  auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate;
+  if (id <= 0 || static_cast<std::size_t>(id) > id_to_slot_.size()) return 0.0;
+  const std::uint32_t slot = id_to_slot_[static_cast<std::size_t>(id - 1)];
+  if (slot == kNoSlot || !alive_[slot]) return 0.0;
+  return rate_[slot];
 }
 
 Bps FlowSim::link_throughput(LinkId id) {
@@ -76,16 +95,26 @@ Bps FlowSim::link_throughput(LinkId id) {
   return i < link_rate_.size() ? link_rate_[i] : 0.0;
 }
 
+void FlowSim::compact_active() {
+  if (n_live_ == active_.size()) return;
+  std::size_t w = 0;
+  for (std::uint32_t slot : active_)
+    if (alive_[slot]) active_[w++] = slot;
+  active_.resize(w);
+  assert(w == n_live_);
+}
+
 void FlowSim::advance_progress() {
   const TimeNs now = sim_.now();
   const double dt = ns_to_sec(now - last_progress_time_);
   if (dt > 0.0) {
     // Rates were solved when this interval began (the commit event runs
     // before virtual time can advance past a mutation instant).
-    assert(!dirty_ || flows_.empty());
-    for (auto& [id, f] : flows_) {
-      f.remaining -= f.rate * dt;
-      if (f.remaining < 0.0) f.remaining = 0.0;
+    assert(!dirty_ || n_live_ == 0);
+    compact_active();
+    for (std::uint32_t slot : active_) {
+      remaining_[slot] -= rate_[slot] * dt;
+      if (remaining_[slot] < 0.0) remaining_[slot] = 0.0;
     }
   }
   last_progress_time_ = now;
@@ -119,20 +148,20 @@ void FlowSim::ensure_link_arrays() {
   }
 }
 
-void FlowSim::add_flow_to_links(const ActiveFlow& f) {
+void FlowSim::add_flow_to_links(std::uint32_t slot) {
   ensure_link_arrays();
-  for (LinkId lid : f.spec.path) {
-    const auto i = static_cast<std::size_t>(lid);
+  for (const LinkId* p = path_begin(slot); p != path_end(slot); ++p) {
+    const auto i = static_cast<std::size_t>(*p);
     if (++link_flow_count_[i] == 1 && !link_in_use_[i]) {
       link_in_use_[i] = 1;
-      used_links_.push_back(lid);
+      used_links_.push_back(*p);
     }
   }
 }
 
-void FlowSim::remove_flow_from_links(const ActiveFlow& f) {
-  for (LinkId lid : f.spec.path) {
-    const auto i = static_cast<std::size_t>(lid);
+void FlowSim::remove_flow_from_links(std::uint32_t slot) {
+  for (const LinkId* p = path_begin(slot); p != path_end(slot); ++p) {
+    const auto i = static_cast<std::size_t>(*p);
     assert(link_flow_count_[i] > 0);
     --link_flow_count_[i];  // compacted out of used_links_ at the next solve
   }
@@ -144,6 +173,7 @@ void FlowSim::solve_rates() {
   // whose membership changed are (re)initialized, and links that lost their
   // last flow are compacted out.
   ensure_link_arrays();
+  compact_active();
   std::size_t w = 0;
   for (LinkId lid : used_links_) {
     const auto i = static_cast<std::size_t>(lid);
@@ -157,21 +187,25 @@ void FlowSim::solve_rates() {
   }
   used_links_.resize(w);
 
-  std::vector<ActiveFlow*> unfrozen;
-  unfrozen.reserve(flows_.size());
-  for (auto& [id, f] : flows_) {
-    f.rate = 0.0;
+  // Unfrozen set, in insertion (FlowId) order so freeze batches -- and with
+  // them the floating-point reduction order -- are independent of how flows
+  // were hashed or completed.
+  std::vector<std::uint32_t> unfrozen;
+  unfrozen.reserve(active_.size());
+  for (std::uint32_t slot : active_) {
+    rate_[slot] = 0.0;
     bool stalled = false;
-    for (LinkId lid : f.spec.path) {
-      const Link& l = net_.link(lid);
+    for (const LinkId* p = path_begin(slot); p != path_end(slot); ++p) {
+      const Link& l = net_.link(*p);
       if (!l.up || l.capacity <= 0.0) {
         stalled = true;
         break;
       }
     }
     if (stalled) continue;  // rate stays 0 until topology change
-    unfrozen.push_back(&f);
-    for (LinkId lid : f.spec.path) ++unfrozen_count_[static_cast<std::size_t>(lid)];
+    unfrozen.push_back(slot);
+    for (const LinkId* p = path_begin(slot); p != path_end(slot); ++p)
+      ++unfrozen_count_[static_cast<std::size_t>(*p)];
   }
   for (LinkId lid : used_links_) {
     const auto i = static_cast<std::size_t>(lid);
@@ -192,11 +226,12 @@ void FlowSim::solve_rates() {
 
     // Freeze every flow crossing a bottleneck link at min_share.
     bool froze_any = false;
-    for (std::size_t i = 0; i < unfrozen.size();) {
-      ActiveFlow* f = unfrozen[i];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < unfrozen.size(); ++i) {
+      const std::uint32_t slot = unfrozen[i];
       bool bottlenecked = false;
-      for (LinkId lid : f->spec.path) {
-        const auto li = static_cast<std::size_t>(lid);
+      for (const LinkId* p = path_begin(slot); p != path_end(slot); ++p) {
+        const auto li = static_cast<std::size_t>(*p);
         const double share = rem_cap_[li] / unfrozen_count_[li];
         if (share <= min_share * (1.0 + 1e-12)) {
           bottlenecked = true;
@@ -204,21 +239,20 @@ void FlowSim::solve_rates() {
         }
       }
       if (!bottlenecked) {
-        ++i;
+        unfrozen[keep++] = slot;
         continue;
       }
-      f->rate = min_share;
-      for (LinkId lid : f->spec.path) {
-        const auto li = static_cast<std::size_t>(lid);
+      rate_[slot] = min_share;
+      for (const LinkId* p = path_begin(slot); p != path_end(slot); ++p) {
+        const auto li = static_cast<std::size_t>(*p);
         rem_cap_[li] -= min_share;
         if (rem_cap_[li] < 0.0) rem_cap_[li] = 0.0;
         --unfrozen_count_[li];
         link_rate_[li] += min_share;  // O(1) throughput index
       }
-      unfrozen[i] = unfrozen.back();
-      unfrozen.pop_back();
       froze_any = true;
     }
+    unfrozen.resize(keep);
     if (!froze_any) break;  // numerical guard; should not happen
   }
 }
@@ -226,32 +260,31 @@ void FlowSim::solve_rates() {
 std::unordered_map<FlowId, Bps> FlowSim::reference_rates() const {
   // The original full re-solve: fresh dense working state sized to the whole
   // network, no incremental bookkeeping. Kept as the oracle the fast path is
-  // validated against.
+  // validated against. Iterates flows in the same insertion order as the
+  // fast path so a rate comparison is exact, not merely within tolerance.
   const std::size_t n_links = net_.link_count();
   std::vector<double> rem_cap(n_links, 0.0);
   std::vector<std::int32_t> unfrozen_count(n_links, 0);
   std::unordered_map<FlowId, Bps> rates;
-  rates.reserve(flows_.size());
+  rates.reserve(n_live_);
 
-  struct RefFlow {
-    FlowId id;
-    const std::vector<LinkId>* path;
-  };
-  std::vector<RefFlow> unfrozen;
-  unfrozen.reserve(flows_.size());
-  for (const auto& [id, f] : flows_) {
-    rates[id] = 0.0;
+  std::vector<std::uint32_t> unfrozen;
+  unfrozen.reserve(n_live_);
+  for (std::uint32_t slot : active_) {
+    if (!alive_[slot]) continue;
+    rates[flow_id_[slot]] = 0.0;
     bool stalled = false;
-    for (LinkId lid : f.spec.path) {
-      const Link& l = net_.link(lid);
+    for (const LinkId* p = path_begin(slot); p != path_end(slot); ++p) {
+      const Link& l = net_.link(*p);
       if (!l.up || l.capacity <= 0.0) {
         stalled = true;
         break;
       }
     }
     if (stalled) continue;
-    unfrozen.push_back({id, &f.spec.path});
-    for (LinkId lid : f.spec.path) ++unfrozen_count[static_cast<std::size_t>(lid)];
+    unfrozen.push_back(slot);
+    for (const LinkId* p = path_begin(slot); p != path_end(slot); ++p)
+      ++unfrozen_count[static_cast<std::size_t>(*p)];
   }
   std::vector<LinkId> active_links;
   for (std::size_t lid = 0; lid < n_links; ++lid) {
@@ -272,31 +305,31 @@ std::unordered_map<FlowId, Bps> FlowSim::reference_rates() const {
     if (min_share < 0.0) min_share = 0.0;
 
     bool froze_any = false;
-    for (std::size_t i = 0; i < unfrozen.size();) {
-      const RefFlow& f = unfrozen[i];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < unfrozen.size(); ++i) {
+      const std::uint32_t slot = unfrozen[i];
       bool bottlenecked = false;
-      for (LinkId lid : *f.path) {
-        const auto li = static_cast<std::size_t>(lid);
+      for (const LinkId* p = path_begin(slot); p != path_end(slot); ++p) {
+        const auto li = static_cast<std::size_t>(*p);
         if (rem_cap[li] / unfrozen_count[li] <= min_share * (1.0 + 1e-12)) {
           bottlenecked = true;
           break;
         }
       }
       if (!bottlenecked) {
-        ++i;
+        unfrozen[keep++] = slot;
         continue;
       }
-      rates[f.id] = min_share;
-      for (LinkId lid : *f.path) {
-        const auto li = static_cast<std::size_t>(lid);
+      rates[flow_id_[slot]] = min_share;
+      for (const LinkId* p = path_begin(slot); p != path_end(slot); ++p) {
+        const auto li = static_cast<std::size_t>(*p);
         rem_cap[li] -= min_share;
         if (rem_cap[li] < 0.0) rem_cap[li] = 0.0;
         --unfrozen_count[li];
       }
-      unfrozen[i] = unfrozen.back();
-      unfrozen.pop_back();
       froze_any = true;
     }
+    unfrozen.resize(keep);
     if (!froze_any) break;
   }
   return rates;
@@ -308,11 +341,11 @@ void FlowSim::schedule_next_completion() {
     pending_event_ = 0;
   }
   TimeNs best = kTimeInf;
-  for (const auto& [id, f] : flows_) {
-    if (f.rate <= 0.0) continue;
+  for (std::uint32_t slot : active_) {
+    if (!alive_[slot] || rate_[slot] <= 0.0) continue;
     // transmission_time clamps at kTimeInf, so an epsilon-small rate cannot
     // overflow the double->TimeNs conversion; "never" flows are skipped.
-    const TimeNs dt = transmission_time(std::max(f.remaining, 0.0), f.rate);
+    const TimeNs dt = transmission_time(std::max(remaining_[slot], 0.0), rate_[slot]);
     if (dt >= kTimeInf) continue;
     best = std::min(best, sim_.now() + dt);
   }
@@ -327,24 +360,23 @@ void FlowSim::handle_completion_event() {
   advance_progress();
   // Collect all flows that are done at this instant (symmetric collectives
   // finish together; batching avoids N redundant rate solves).
-  std::vector<std::pair<FlowId, ActiveFlow>> done;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->second.remaining <= kCompletionEps) {
-      remove_flow_from_links(it->second);
-      done.emplace_back(it->first, std::move(it->second));
-      it = flows_.erase(it);
-    } else {
-      ++it;
-    }
+  std::vector<std::uint32_t> done;
+  for (std::uint32_t slot : active_) {
+    if (remaining_[slot] > kCompletionEps) continue;
+    remove_flow_from_links(slot);
+    alive_[slot] = 0;
+    --n_live_;
+    done.push_back(slot);
   }
-  for (auto& [id, f] : done) {
+  for (std::uint32_t slot : done) {
     // Deliver at arrival time (propagation tail), preserving causality; the
     // completion/byte counters are credited at that same instant so mid-sim
     // monitor queries never see bytes that have not arrived yet.
-    const TimeNs arrival = sim_.now() + f.path_delay + f.spec.extra_delay;
-    auto cb = std::move(f.spec.on_complete);
-    const FlowId fid = id;
-    const Bytes size = f.spec.size;
+    const TimeNs arrival = sim_.now() + path_delay_[slot] + extra_delay_[slot];
+    auto cb = std::move(on_complete_[slot]);
+    on_complete_[slot] = nullptr;
+    const FlowId fid = flow_id_[slot];
+    const Bytes size = size_[slot];
     sim_.schedule_at(arrival, [this, cb, fid, arrival, size] {
       ++completed_;
       bytes_delivered_ += size;

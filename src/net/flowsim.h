@@ -14,6 +14,14 @@
 // is served O(1) from an index updated by the solver. `reference_rates()`
 // re-solves from scratch; tests assert the fast path matches it.
 //
+// Flow state is struct-of-arrays (DESIGN.md §13): parallel per-slot vectors
+// (remaining bytes, rate, path span, delays) plus one shared path arena, so
+// the hot advance/solve loops stream over contiguous doubles instead of
+// chasing unordered_map nodes. Slots are append-only within a simulator's
+// lifetime (a FlowSim lives for one phase); the active list keeps insertion
+// (= FlowId) order and is compacted stably when flows retire, which keeps
+// every solve deterministic and independent of completion batching.
+//
 // For the multi-megabyte transfers that dominate distributed training this
 // matches per-packet fair-queueing simulation closely; the PacketVsFluid
 // sweep in tests/net_test.cc cross-checks it against the store-and-forward
@@ -52,7 +60,7 @@ class FlowSim final : public Transport {
   /// simulator cannot observe those.)
   void on_topology_change();
 
-  std::size_t active_flow_count() const { return flows_.size(); }
+  std::size_t active_flow_count() const { return n_live_; }
 
   /// Flows whose last byte has *arrived* (not merely drained from the
   /// source); consistent with bytes_delivered() at any mid-sim instant.
@@ -73,13 +81,7 @@ class FlowSim final : public Transport {
   std::unordered_map<FlowId, Bps> reference_rates() const;
 
  private:
-  struct ActiveFlow {
-    FlowSpec spec;
-    Bytes remaining = 0.0;
-    Bps rate = 0.0;
-    TimeNs path_delay = 0;
-    TimeNs start_time = 0;
-  };
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
 
   void advance_progress();
   void ensure_rates();        // solve_rates() iff dirty
@@ -88,12 +90,35 @@ class FlowSim final : public Transport {
   void schedule_next_completion();
   void handle_completion_event();
   void ensure_link_arrays();
-  void add_flow_to_links(const ActiveFlow& f);
-  void remove_flow_from_links(const ActiveFlow& f);
+  void compact_active();      // stable-drop retired slots from active_
+  void add_flow_to_links(std::uint32_t slot);
+  void remove_flow_from_links(std::uint32_t slot);
+  const LinkId* path_begin(std::uint32_t slot) const {
+    return path_arena_.data() + path_off_[slot];
+  }
+  const LinkId* path_end(std::uint32_t slot) const {
+    return path_arena_.data() + path_off_[slot] + path_len_[slot];
+  }
 
   eventsim::Simulator& sim_;
   const Network& net_;
-  std::unordered_map<FlowId, ActiveFlow> flows_;
+
+  // --- Struct-of-arrays flow tables, indexed by slot (append-only). ------
+  std::vector<Bytes> remaining_;
+  std::vector<Bps> rate_;
+  std::vector<Bytes> size_;             // original spec.size (stats credit)
+  std::vector<TimeNs> path_delay_;
+  std::vector<TimeNs> extra_delay_;
+  std::vector<std::uint32_t> path_off_;
+  std::vector<std::uint32_t> path_len_;
+  std::vector<FlowId> flow_id_;
+  std::vector<char> alive_;
+  std::vector<std::function<void(FlowId, TimeNs)>> on_complete_;
+  std::vector<LinkId> path_arena_;      // all paths, back to back
+  std::vector<std::uint32_t> active_;   // live slots, insertion order
+  std::vector<std::uint32_t> id_to_slot_;  // FlowId-1 -> slot (kNoSlot: none)
+  std::size_t n_live_ = 0;
+
   FlowId next_id_ = 1;
   TimeNs last_progress_time_ = 0;
   eventsim::EventId pending_event_ = 0;

@@ -5,6 +5,11 @@
 
 namespace mixnet::net {
 
+void Network::reserve(std::size_t nodes, std::size_t links) {
+  nodes_.reserve(nodes);
+  links_.reserve(links);
+}
+
 NodeId Network::add_node(NodeKind kind, std::string label) {
   Node n;
   n.kind = kind;

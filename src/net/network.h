@@ -46,6 +46,12 @@ struct Link {
 
 class Network {
  public:
+  /// Pre-size the node/link tables. Topology builders call this once with
+  /// exact counts so a 100k-GPU fabric is built in one allocation pass
+  /// instead of O(log n) reallocation+copy cycles over multi-hundred-MB
+  /// vectors. Safe to call repeatedly; never shrinks.
+  void reserve(std::size_t nodes, std::size_t links);
+
   NodeId add_node(NodeKind kind, std::string label = {});
 
   /// Add a single directed link; returns its id.

@@ -26,20 +26,18 @@ ServeSimulator::ServeSimulator(const sim::TrainingConfig& cluster,
   if (!cfg_.par_overridden) cfg_.par = moe::default_parallelism(cfg_.model);
   placement_ = std::make_unique<moe::Placement>(cfg_.par, cfg_.gpus_per_server);
 
-  topo::FabricConfig fc;
-  fc.kind = cfg_.fabric_kind;
-  fc.n_servers = placement_->total_servers();
-  fc.gpus_per_server = cfg_.gpus_per_server;
-  fc.nics_per_server = cfg_.nics_per_server;
-  fc.nic_gbps = cfg_.nic_gbps;
-  fc.oversub = cfg_.oversub;
-  fc.eps_nics = cfg_.eps_nics;
-  fc.optical_degree = cfg_.optical_degree;
-  fc.region_servers = placement_->region_servers();
-  fc.nvlink_gbps_per_gpu = cfg_.nvlink_gbps_per_gpu;
-  fc.ocs_nic_gbps = cfg_.ocs_nic_gbps;
+  topo::FabricConfig fc =
+      topo::FabricConfig::preset(cfg_.fabric_kind, placement_->total_servers())
+          .with_gpus_per_server(cfg_.gpus_per_server)
+          .with_nics_per_server(cfg_.nics_per_server)
+          .with_nic_gbps(cfg_.nic_gbps)
+          .with_oversub(cfg_.oversub)
+          .with_eps_split(cfg_.eps_nics, cfg_.optical_degree)
+          .with_region_servers(placement_->region_servers())
+          .with_nvlink_gbps_per_gpu(cfg_.nvlink_gbps_per_gpu)
+          .with_ocs_nic_gbps(cfg_.ocs_nic_gbps);
   if (is_mixnet()) {
-    fc.optical_degree = cfg_.nics_per_server - cfg_.eps_nics;
+    fc.with_eps_split(cfg_.eps_nics, cfg_.nics_per_server - cfg_.eps_nics);
     cfg_.optical_degree = fc.optical_degree;
   }
   fabric_ = std::make_unique<topo::Fabric>(topo::Fabric::build(fc));

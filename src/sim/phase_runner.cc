@@ -29,6 +29,13 @@ PhaseRunner::PhaseRunner(topo::Fabric& fabric, collective::EngineConfig ecfg,
               /*allow_server_transit=*/fabric.config().kind ==
                   topo::FabricKind::kTopoOpt),
       cache_capacity_(cache_capacity) {
+  // The packet engine walks node-contiguous hops; analytic-core paths skip
+  // the collapsed core entirely, so the combination cannot be simulated.
+  if (fabric.analytic_core() && backend == net::NetBackend::kPacket)
+    throw std::invalid_argument(
+        "PhaseRunner: CoreModel::kAnalytic requires the analytic or flow "
+        "backend; rebuild the fabric with CoreModel::kExplicit for --backend "
+        "packet");
   // Stripe across the NICs a server actually points at the packet fabric
   // (collectives open one QP/channel per NIC), capped to keep flow counts
   // tractable on high-radix domains.

@@ -51,21 +51,19 @@ TrainingSimulator::TrainingSimulator(TrainingConfig cfg) : cfg_(std::move(cfg)) 
   if (!cfg_.par_overridden) cfg_.par = moe::default_parallelism(cfg_.model);
   placement_ = std::make_unique<moe::Placement>(cfg_.par, cfg_.gpus_per_server);
 
-  topo::FabricConfig fc;
-  fc.kind = cfg_.fabric_kind;
-  fc.n_servers = placement_->total_servers();
-  fc.gpus_per_server = cfg_.gpus_per_server;
-  fc.nics_per_server = cfg_.nics_per_server;
-  fc.nic_gbps = cfg_.nic_gbps;
-  fc.oversub = cfg_.oversub;
-  fc.eps_nics = cfg_.eps_nics;
-  fc.optical_degree = cfg_.optical_degree;
-  fc.region_servers = placement_->region_servers();
-  fc.nvlink_gbps_per_gpu = cfg_.nvlink_gbps_per_gpu;
-  fc.ocs_nic_gbps = cfg_.ocs_nic_gbps;
+  topo::FabricConfig fc =
+      topo::FabricConfig::preset(cfg_.fabric_kind, placement_->total_servers())
+          .with_gpus_per_server(cfg_.gpus_per_server)
+          .with_nics_per_server(cfg_.nics_per_server)
+          .with_nic_gbps(cfg_.nic_gbps)
+          .with_oversub(cfg_.oversub)
+          .with_eps_split(cfg_.eps_nics, cfg_.optical_degree)
+          .with_region_servers(placement_->region_servers())
+          .with_nvlink_gbps_per_gpu(cfg_.nvlink_gbps_per_gpu)
+          .with_ocs_nic_gbps(cfg_.ocs_nic_gbps)
+          .with_core_model(cfg_.core_model);
   if (is_mixnet()) {
-    fc.eps_nics = cfg_.eps_nics;
-    fc.optical_degree = cfg_.nics_per_server - cfg_.eps_nics;
+    fc.with_eps_split(cfg_.eps_nics, cfg_.nics_per_server - cfg_.eps_nics);
     cfg_.optical_degree = fc.optical_degree;
   }
   // TopoOpt keeps its single global region (set inside Fabric::build).

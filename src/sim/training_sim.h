@@ -42,6 +42,13 @@ struct TrainingConfig {
   bool par_overridden = false;
 
   topo::FabricKind fabric_kind = topo::FabricKind::kFatTree;
+  /// How the electrical core is realized (DESIGN.md §13): kExplicit
+  /// materializes leaf/spine switches and uplinks in the network graph;
+  /// kAnalytic collapses a non-oversubscribed core into the per-NIC server
+  /// uplinks (equivalent max-min allocations, orders of magnitude fewer
+  /// links at 100k-GPU scale). Requires a leaf-spine electrical core and a
+  /// non-packet backend.
+  topo::CoreModel core_model = topo::CoreModel::kExplicit;
   double nic_gbps = 400.0;
   int nics_per_server = 8;
   int gpus_per_server = 8;

@@ -1,8 +1,12 @@
 #include "topo/fabric.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "common/canonical.h"
+#include "net/routing.h"
 
 namespace mixnet::topo {
 
@@ -22,6 +26,121 @@ const char* to_string(FabricKind k) {
     case FabricKind::kMixNetOpticalIO: return "MixNet (optical I/O)";
   }
   return "?";
+}
+
+const char* to_string(CoreModel m) {
+  switch (m) {
+    case CoreModel::kExplicit: return "explicit";
+    case CoreModel::kAnalytic: return "analytic";
+  }
+  return "?";
+}
+
+FabricConfig FabricConfig::fat_tree(int n_servers) {
+  FabricConfig c;
+  c.kind = FabricKind::kFatTree;
+  c.n_servers = n_servers;
+  return c;
+}
+
+FabricConfig FabricConfig::oversub_fat_tree(int n_servers, double ratio) {
+  FabricConfig c;
+  c.kind = FabricKind::kOverSubFatTree;
+  c.n_servers = n_servers;
+  c.oversub = ratio;
+  return c;
+}
+
+FabricConfig FabricConfig::rail_optimized(int n_servers) {
+  FabricConfig c;
+  c.kind = FabricKind::kRailOptimized;
+  c.n_servers = n_servers;
+  return c;
+}
+
+FabricConfig FabricConfig::topoopt(int n_servers) {
+  FabricConfig c;
+  c.kind = FabricKind::kTopoOpt;
+  c.n_servers = n_servers;
+  return c;
+}
+
+FabricConfig FabricConfig::mixnet(int n_servers, int alpha) {
+  FabricConfig c;
+  c.kind = FabricKind::kMixNet;
+  c.n_servers = n_servers;
+  c.optical_degree = alpha;
+  c.eps_nics = c.nics_per_server - alpha;
+  return c;
+}
+
+FabricConfig FabricConfig::mixnet_optical_io(int n_servers, int alpha) {
+  FabricConfig c = mixnet(n_servers, alpha);
+  c.kind = FabricKind::kMixNetOpticalIO;
+  return c;
+}
+
+FabricConfig FabricConfig::nvl72(int n_servers) {
+  FabricConfig c;
+  c.kind = FabricKind::kNvl72;
+  c.n_servers = n_servers;
+  c.nvlink_gbps_per_gpu = 7200.0;
+  return c;
+}
+
+FabricConfig FabricConfig::preset(FabricKind kind, int n_servers) {
+  switch (kind) {
+    case FabricKind::kFatTree: return fat_tree(n_servers);
+    case FabricKind::kOverSubFatTree: return oversub_fat_tree(n_servers);
+    case FabricKind::kRailOptimized: return rail_optimized(n_servers);
+    case FabricKind::kTopoOpt: return topoopt(n_servers);
+    case FabricKind::kMixNet: return mixnet(n_servers);
+    case FabricKind::kNvl72: return nvl72(n_servers);
+    case FabricKind::kMixNetOpticalIO: return mixnet_optical_io(n_servers);
+  }
+  throw std::invalid_argument("FabricConfig::preset: unknown FabricKind");
+}
+
+std::vector<std::string> FabricConfig::validate() const {
+  std::vector<std::string> errors;
+  auto require = [&errors](bool ok, const char* msg) {
+    if (!ok) errors.emplace_back(msg);
+  };
+  require(n_servers >= 1, "n_servers: must be >= 1");
+  require(gpus_per_server >= 1, "gpus_per_server: must be >= 1");
+  require(nics_per_server >= 1, "nics_per_server: must be >= 1");
+  require(nic_gbps > 0.0, "nic_gbps: must be > 0");
+  require(oversub >= 1.0, "oversub: must be >= 1 (leaf:spine ratio)");
+  require(region_servers >= 1, "region_servers: must be >= 1");
+  require(nvlink_gbps_per_gpu > 0.0, "nvlink_gbps_per_gpu: must be > 0");
+  require(ocs_nic_gbps >= 0.0, "ocs_nic_gbps: must be >= 0 (0 = nic_gbps)");
+  require(link_delay >= 0, "link_delay: must be >= 0");
+  require(servers_per_rack >= 1, "servers_per_rack: must be >= 1");
+  if (kind == FabricKind::kMixNet || kind == FabricKind::kMixNetOpticalIO) {
+    require(eps_nics >= 1, "eps_nics: MixNet needs at least one EPS NIC");
+    require(optical_degree >= 1,
+            "optical_degree: MixNet needs at least one OCS NIC (alpha >= 1)");
+    if (eps_nics + optical_degree != nics_per_server)
+      errors.emplace_back(
+          "eps_nics/optical_degree: MixNet NIC split must sum to "
+          "nics_per_server");
+  }
+  if (core_model == CoreModel::kAnalytic) {
+    switch (kind) {
+      case FabricKind::kFatTree:
+      case FabricKind::kOverSubFatTree:
+      case FabricKind::kMixNet:
+      case FabricKind::kNvl72:
+      case FabricKind::kMixNetOpticalIO:
+        break;
+      default:
+        errors.emplace_back(
+            "core_model: kAnalytic requires a leaf-spine electrical core "
+            "(fat-tree/MixNet/NVL72); rail-optimized and TopoOpt are "
+            "explicit-only");
+    }
+  }
+  return errors;
 }
 
 bool Fabric::has_circuits() const {
@@ -66,26 +185,60 @@ void Fabric::build_eps_leaf_spine(int nics_toward_eps, double oversub) {
   // Leaf-spine with one ideal core: each rack of servers_per_rack servers
   // shares a ToR; each server contributes `nics_toward_eps` NIC links; the
   // ToR uplink is sized at downlink_total / oversub toward a single
-  // non-blocking core node.
+  // non-blocking core node. Under the analytic core model at 1:1 the
+  // uplinks and the core node are not materialized at all: a non-blocking
+  // uplink's fair share is a mediant of its NIC links' shares, so it can
+  // never be the unique max-min bottleneck and dropping it preserves every
+  // allocation exactly (DESIGN.md §13).
   const int n = n_servers();
   const int spr = cfg_.servers_per_rack;
   const int n_racks = (n + spr - 1) / spr;
-  const NodeId core = net_.add_node(NodeKind::kSwitch, "core");
-  ++n_switches_;
+  analytic_ = cfg_.core_model == CoreModel::kAnalytic;
+  core_collapsed_ = analytic_ && oversub <= 1.0;
+  eps_nics_used_ = nics_toward_eps;
+
+  // One pass, exact reservation: servers are already in the node table.
+  net_.reserve(net_.node_count() + static_cast<std::size_t>(n_racks) +
+                   (core_collapsed_ ? 0 : 1),
+               net_.link_count() +
+                   static_cast<std::size_t>(n) * nics_toward_eps * 2 +
+                   (core_collapsed_ ? 0 : static_cast<std::size_t>(n_racks) * 2));
+  if (analytic_) {
+    nic_up_.reserve(static_cast<std::size_t>(n) * nics_toward_eps);
+    nic_down_.reserve(static_cast<std::size_t>(n) * nics_toward_eps);
+    rack_up_.assign(static_cast<std::size_t>(n_racks), net::kInvalidLink);
+    rack_down_.assign(static_cast<std::size_t>(n_racks), net::kInvalidLink);
+  }
+
+  const NodeId core =
+      core_collapsed_ ? net::kInvalidNode : net_.add_node(NodeKind::kSwitch, "core");
+  if (!core_collapsed_) ++n_switches_;
   for (int r = 0; r < n_racks; ++r) {
     const NodeId tor = net_.add_node(NodeKind::kSwitch, "tor" + std::to_string(r));
     ++n_switches_;
     int servers_in_rack = 0;
     for (int s = r * spr; s < std::min(n, (r + 1) * spr); ++s) {
       for (int nic = 0; nic < nics_toward_eps; ++nic) {
-        net_.add_duplex(servers_[static_cast<std::size_t>(s)], tor, cfg_.nic_bw(),
-                        cfg_.link_delay,
-                        "eps s" + std::to_string(s) + " nic" + std::to_string(nic));
+        const auto [up, down] = net_.add_duplex(
+            servers_[static_cast<std::size_t>(s)], tor, cfg_.nic_bw(),
+            cfg_.link_delay,
+            "eps s" + std::to_string(s) + " nic" + std::to_string(nic));
+        if (analytic_) {
+          nic_up_.push_back(up);
+          nic_down_.push_back(down);
+        }
       }
       ++servers_in_rack;
     }
-    const Bps up = cfg_.nic_bw() * nics_toward_eps * servers_in_rack / oversub;
-    net_.add_duplex(tor, core, up, cfg_.link_delay, "uplink" + std::to_string(r));
+    if (core_collapsed_) continue;
+    const Bps up_cap = cfg_.nic_bw() * nics_toward_eps * servers_in_rack / oversub;
+    const auto [up, down] =
+        net_.add_duplex(tor, core, up_cap, cfg_.link_delay,
+                        "uplink" + std::to_string(r));
+    if (analytic_) {
+      rack_up_[static_cast<std::size_t>(r)] = up;
+      rack_down_[static_cast<std::size_t>(r)] = down;
+    }
   }
 }
 
@@ -97,6 +250,10 @@ void Fabric::build_rail_optimized() {
   const int rails = cfg_.nics_per_server;
   const int pod_size = std::max(cfg_.servers_per_rack * 4, 32);  // servers per pod
   const int n_pods = (n + pod_size - 1) / pod_size;
+  net_.reserve(net_.node_count() + 1 +
+                   static_cast<std::size_t>(n_pods) * rails,
+               net_.link_count() + static_cast<std::size_t>(n) * rails * 2 +
+                   static_cast<std::size_t>(n_pods) * rails * 2);
   const NodeId core = net_.add_node(NodeKind::kSwitch, "core");
   ++n_switches_;
   for (int p = 0; p < n_pods; ++p) {
@@ -119,10 +276,15 @@ void Fabric::build_rail_optimized() {
 Fabric Fabric::build(const FabricConfig& cfg) {
   Fabric f;
   f.cfg_ = cfg;
-  if (cfg.kind == FabricKind::kMixNet || cfg.kind == FabricKind::kMixNetOpticalIO) {
-    if (cfg.eps_nics + cfg.optical_degree != cfg.nics_per_server)
-      throw std::invalid_argument("MixNet NIC split must sum to nics_per_server");
+  if (auto errors = cfg.validate(); !errors.empty()) {
+    std::string msg = "FabricConfig::validate failed:";
+    for (const auto& e : errors) {
+      msg += "\n  - ";
+      msg += e;
+    }
+    throw std::invalid_argument(msg);
   }
+  f.net_.reserve(static_cast<std::size_t>(cfg.n_servers), 0);
   f.servers_.reserve(static_cast<std::size_t>(cfg.n_servers));
   for (int s = 0; s < cfg.n_servers; ++s)
     f.servers_.push_back(
@@ -161,6 +323,124 @@ Fabric Fabric::build(const FabricConfig& cfg) {
       break;
   }
   return f;
+}
+
+AnalyticRoute Fabric::route_analytic(int src_server, int dst_server,
+                                     std::uint64_t flow_hash,
+                                     int pin_index) const {
+  assert(analytic_ && "route_analytic requires CoreModel::kAnalytic");
+  AnalyticRoute r;
+  if (src_server == dst_server) return r;
+  const NodeId a = servers_[static_cast<std::size_t>(src_server)];
+  const NodeId b = servers_[static_cast<std::size_t>(dst_server)];
+
+  // A direct up circuit is a 1-hop shortest path: on the explicit graph the
+  // BFS router always prefers it over the 2/4-hop EPS detour (and servers
+  // never forward, so it is the only 1-hop candidate). Only circuit fabrics
+  // can have server->server links, so the scan is skipped elsewhere.
+  if (const LinkId direct = has_circuits() ? net_.find_link(a, b) : net::kInvalidLink;
+      direct != net::kInvalidLink) {
+    if (net_.link(direct).capacity > 0.0) {
+      r.path.push_back(direct);
+      return r;
+    }
+  }
+  if (eps_nics_used_ <= 0) return r;  // no packet fabric
+
+  // Candidate NIC pick at one hop, reproducing EcmpRouter: candidates are
+  // the up, non-zero-capacity links in insertion (NIC) order; pinned flows
+  // take pin % n, unpinned flows the per-hop mixed hash.
+  const auto pick_nic = [this, flow_hash, pin_index](const LinkId* base,
+                                                     int hop) -> LinkId {
+    int n_up = 0;
+    for (int k = 0; k < eps_nics_used_; ++k) {
+      const net::Link& l = net_.link(base[k]);
+      if (l.up && l.capacity > 0.0) ++n_up;
+    }
+    if (n_up == 0) return net::kInvalidLink;
+    const auto pick =
+        pin_index >= 0
+            ? static_cast<std::uint64_t>(pin_index) % static_cast<std::uint64_t>(n_up)
+            : net::mix_hash(flow_hash ^
+                            (0x9E37ULL * static_cast<std::uint64_t>(hop + 1))) %
+                  static_cast<std::uint64_t>(n_up);
+    std::uint64_t seen = 0;
+    for (int k = 0; k < eps_nics_used_; ++k) {
+      const net::Link& l = net_.link(base[k]);
+      if (!l.up || l.capacity <= 0.0) continue;
+      if (seen++ == pick) return base[k];
+    }
+    return net::kInvalidLink;  // unreachable
+  };
+
+  const int rack_src = src_server / cfg_.servers_per_rack;
+  const int rack_dst = dst_server / cfg_.servers_per_rack;
+  const LinkId* src_nics =
+      nic_up_.data() + static_cast<std::size_t>(src_server) * eps_nics_used_;
+  const LinkId* dst_nics =
+      nic_down_.data() + static_cast<std::size_t>(dst_server) * eps_nics_used_;
+
+  if (rack_src == rack_dst) {
+    // Explicit path: server -> ToR -> server (hops 0 and 1).
+    const LinkId up = pick_nic(src_nics, 0);
+    const LinkId down = pick_nic(dst_nics, 1);
+    if (up == net::kInvalidLink || down == net::kInvalidLink) return r;
+    r.path.push_back(up);
+    r.path.push_back(down);
+    return r;
+  }
+
+  // Explicit path: server -> ToR -> core -> ToR -> server. The ToR uplink
+  // hops (1 and 2) have exactly one candidate each, so only the NIC picks
+  // at hops 0 and 3 consume the pin/hash.
+  const LinkId up = pick_nic(src_nics, 0);
+  const LinkId down = pick_nic(dst_nics, 3);
+  if (up == net::kInvalidLink || down == net::kInvalidLink) return r;
+  r.path.push_back(up);
+  if (core_collapsed_) {
+    // The ideal core's links carry no state; only their propagation remains.
+    r.extra_delay = 2 * cfg_.link_delay;
+  } else {
+    const LinkId ru = rack_up_[static_cast<std::size_t>(rack_src)];
+    const LinkId rd = rack_down_[static_cast<std::size_t>(rack_dst)];
+    const net::Link& lu = net_.link(ru);
+    const net::Link& ld = net_.link(rd);
+    if (!lu.up || lu.capacity <= 0.0 || !ld.up || ld.capacity <= 0.0) {
+      r.path.clear();
+      return r;  // core path severed; matches the router's unreachable case
+    }
+    r.path.push_back(ru);
+    r.path.push_back(rd);
+  }
+  r.path.push_back(down);
+  return r;
+}
+
+std::string Fabric::describe() const {
+  CanonicalWriter w;
+  w.field("kind", to_string(cfg_.kind));
+  w.field("core_model", to_string(cfg_.core_model));
+  w.field("n_servers", cfg_.n_servers);
+  w.field("gpus_per_server", cfg_.gpus_per_server);
+  w.field("n_gpus", cfg_.n_gpus());
+  w.field("nics_per_server", cfg_.nics_per_server);
+  w.field("nic_gbps", cfg_.nic_gbps);
+  w.field("oversub", cfg_.oversub);
+  w.field("eps_nics", cfg_.eps_nics);
+  w.field("optical_degree", optical_degree());
+  w.field("region_servers", cfg_.region_servers);
+  w.field("servers_per_rack", cfg_.servers_per_rack);
+  w.field("nvlink_gbps_per_gpu", cfg_.nvlink_gbps_per_gpu);
+  w.field("ocs_nic_gbps", cfg_.ocs_nic_gbps);
+  w.field("link_delay_ns", static_cast<std::int64_t>(cfg_.link_delay));
+  w.field("n_regions", n_regions());
+  w.field("n_switch_nodes", n_switches_);
+  w.field("n_nodes", static_cast<std::int64_t>(net_.node_count()));
+  w.field("n_links", static_cast<std::int64_t>(net_.link_count()));
+  w.field("has_eps", has_eps());
+  w.field("has_circuits", has_circuits());
+  w.field("core_collapsed", core_collapsed_);
+  return w.json_text();
 }
 
 int Fabric::apply_circuits(int region, const Matrix& counts) {

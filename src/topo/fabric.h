@@ -14,12 +14,27 @@
 // (NVSwitch) transfers are handled analytically by the collective runtime
 // using `nvlink_gbps_per_gpu` (they never contend with scale-out links).
 //
-// Electrical cores are modeled as ideal non-blocking crossbars (a single
-// core node with appropriately sized uplinks), which matches how the paper
-// treats fat-tree/rail baselines; ECMP collisions can still occur on the
-// per-NIC server uplinks, which is where they matter for MoE traffic.
+// Electrical cores are modeled as ideal non-blocking crossbars. Two core
+// models exist (DESIGN.md §13):
+//
+//   CoreModel::kExplicit  a single core node with per-rack uplinks in the
+//                         graph; routes come from per-destination BFS
+//                         (net::EcmpRouter). The historical default.
+//   CoreModel::kAnalytic  the ideal core is a *computed* capacity
+//                         constraint: per-NIC server<->ToR links keep
+//                         per-flow state, but at 1:1 over-subscription the
+//                         ToR uplinks and the core crossbar disappear from
+//                         the net::Network graph entirely (they can never be
+//                         the unique max-min bottleneck -- the uplink's fair
+//                         share is a mediant of its NIC links' shares), and
+//                         routes are computed O(1) by route_analytic()
+//                         instead of BFS. This is the trick that makes
+//                         100k-GPU sweeps take seconds (ROADMAP: fig26-xl);
+//                         it reproduces the explicit model's ECMP choices
+//                         bit-for-bit, so phase durations match exactly.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -41,6 +56,14 @@ enum class FabricKind {
 };
 
 const char* to_string(FabricKind k);
+
+/// How the ideal electrical core is represented (see file header).
+enum class CoreModel : std::uint8_t {
+  kExplicit = 0,
+  kAnalytic = 1,
+};
+
+const char* to_string(CoreModel m);
 
 struct FabricConfig {
   FabricKind kind = FabricKind::kFatTree;
@@ -66,6 +89,62 @@ struct FabricConfig {
   /// paper's rail-style deployments, where a group never sits behind one
   /// switch).
   int servers_per_rack = 2;
+  /// Explicit core graph vs computed-constraint analytic core (file header).
+  CoreModel core_model = CoreModel::kExplicit;
+
+  // --- Named preset factories -------------------------------------------
+  // The sanctioned way to obtain a config outside src/topo: each returns the
+  // paper's defaults for that interconnect with only the knobs that define
+  // it filled in; everything else is tuned through the fluent with_*()
+  // layer below. Aggregate-literal initialization (`FabricConfig{...}`) is
+  // positional and silently reorders on every struct change -- the lint
+  // gate (tools/lint/determinism.json) bans it across src/.
+
+  /// Non-blocking 1:1 fat-tree over `n_servers` 8-NIC servers.
+  static FabricConfig fat_tree(int n_servers);
+  /// Over-subscribed fat-tree; `ratio` is the leaf:spine over-subscription.
+  static FabricConfig oversub_fat_tree(int n_servers, double ratio = 3.0);
+  /// Rail-optimized EPS layout (NIC i of every server on rail switch i).
+  static FabricConfig rail_optimized(int n_servers);
+  /// TopoOpt: flat one-shot optical fabric, no EPS.
+  static FabricConfig topoopt(int n_servers);
+  /// MixNet: `alpha` OCS NICs per server, the rest toward the EPS fat-tree.
+  static FabricConfig mixnet(int n_servers, int alpha = 6);
+  /// MixNet with co-packaged optical I/O (§8).
+  static FabricConfig mixnet_optical_io(int n_servers, int alpha = 6);
+  /// NVL72-class scale-up domains (7200 Gbps/GPU NVLink) on a 1:1 EPS.
+  static FabricConfig nvl72(int n_servers);
+  /// Factory dispatch on a runtime kind (what TrainingConfig carries).
+  static FabricConfig preset(FabricKind kind, int n_servers);
+
+  // --- Fluent tuning layer ----------------------------------------------
+  FabricConfig& with_servers(int n) { n_servers = n; return *this; }
+  FabricConfig& with_gpus_per_server(int n) { gpus_per_server = n; return *this; }
+  FabricConfig& with_nics_per_server(int n) { nics_per_server = n; return *this; }
+  FabricConfig& with_nic_gbps(double g) { nic_gbps = g; return *this; }
+  FabricConfig& with_oversub(double ratio) { oversub = ratio; return *this; }
+  /// MixNet NIC split; keeps eps + optical == nics_per_server the caller's
+  /// responsibility (validate() reports violations).
+  FabricConfig& with_eps_split(int eps, int optical) {
+    eps_nics = eps;
+    optical_degree = optical;
+    return *this;
+  }
+  FabricConfig& with_region_servers(int n) { region_servers = n; return *this; }
+  FabricConfig& with_nvlink_gbps_per_gpu(double g) {
+    nvlink_gbps_per_gpu = g;
+    return *this;
+  }
+  FabricConfig& with_ocs_nic_gbps(double g) { ocs_nic_gbps = g; return *this; }
+  FabricConfig& with_link_delay(mixnet::TimeNs d) { link_delay = d; return *this; }
+  FabricConfig& with_servers_per_rack(int n) { servers_per_rack = n; return *this; }
+  FabricConfig& with_core_model(CoreModel m) { core_model = m; return *this; }
+
+  /// Structured validation: one "field: problem" line per violation, empty
+  /// when the config is buildable. Fabric::build() calls this and throws
+  /// std::invalid_argument with the joined messages, so bad splits fail at
+  /// the API boundary instead of as deep build asserts.
+  std::vector<std::string> validate() const;
 
   int n_gpus() const { return n_servers * gpus_per_server; }
   mixnet::Bps nic_bw() const { return mixnet::gbps(nic_gbps); }
@@ -73,6 +152,14 @@ struct FabricConfig {
   mixnet::Bps ocs_bw() const {
     return mixnet::gbps(ocs_nic_gbps > 0.0 ? ocs_nic_gbps : nic_gbps);
   }
+};
+
+/// A computed route from the analytic core model: the links that carry
+/// per-flow state, plus the propagation delay of the collapsed hops so
+/// completion times match the explicit graph exactly.
+struct AnalyticRoute {
+  std::vector<net::LinkId> path;
+  mixnet::TimeNs extra_delay = 0;
 };
 
 /// A built interconnect: the graph plus enough structure for the OCS
@@ -105,6 +192,21 @@ class Fabric {
   /// True if servers also connect to a packet-switched fabric.
   bool has_eps() const;
 
+  /// True when the electrical core is the computed-constraint analytic model
+  /// and routes must come from route_analytic() instead of a BFS router.
+  bool analytic_core() const { return analytic_; }
+
+  /// O(1) computed route between two servers under the analytic core model.
+  /// Reproduces net::EcmpRouter's choices on the equivalent explicit graph
+  /// bit-for-bit: a direct up circuit wins (1-hop shortest path), otherwise
+  /// per-NIC candidates are filtered by up/capacity in insertion order and
+  /// picked by `pin_index % n` (or the per-hop mix_hash when unpinned) at
+  /// the hop indices the explicit 2- or 4-hop path would use. Returns an
+  /// empty path when the pair is unreachable (all NICs down), matching the
+  /// router; extra_delay carries the propagation of the collapsed core hops.
+  AnalyticRoute route_analytic(int src_server, int dst_server,
+                               std::uint64_t flow_hash, int pin_index = -1) const;
+
   int n_regions() const { return static_cast<int>(regions_.size()); }
   const std::vector<int>& region_servers(int region) const {
     return regions_[static_cast<std::size_t>(region)];
@@ -136,6 +238,13 @@ class Fabric {
   /// Number of electrical switch nodes (for structural tests).
   int n_switch_nodes() const { return n_switches_; }
 
+  /// Stable canonical-JSON serialization of the built topology's shape
+  /// (config + derived structure counts), computed without walking the
+  /// graph. Keys are sorted and doubles round-trip, so the text is a
+  /// byte-stable fingerprint usable in `--list --format json` and figure
+  /// checks.
+  std::string describe() const;
+
  private:
   void build_eps_leaf_spine(int nics_toward_eps, double oversub);
   void build_rail_optimized();
@@ -147,6 +256,16 @@ class Fabric {
   std::vector<std::vector<int>> regions_;  // region -> server indices
   std::vector<int> region_of_;             // server index -> region
   int n_switches_ = 0;
+
+  // Analytic-core bookkeeping (kAnalytic on leaf-spine kinds). NIC links are
+  // stored SoA so route_analytic touches two cache lines per route.
+  bool analytic_ = false;
+  bool core_collapsed_ = false;  // 1:1 core: uplinks absent from the graph
+  int eps_nics_used_ = 0;        // NIC links per server toward the EPS
+  std::vector<net::LinkId> nic_up_;    // [server * eps_nics_used_ + k] srv->tor
+  std::vector<net::LinkId> nic_down_;  // [server * eps_nics_used_ + k] tor->srv
+  std::vector<net::LinkId> rack_up_;   // [rack] tor->core (empty if collapsed)
+  std::vector<net::LinkId> rack_down_; // [rack] core->tor
 
   struct CircuitPair {
     net::LinkId fwd = net::kInvalidLink;

@@ -35,20 +35,12 @@ struct Harness {
 };
 
 topo::FabricConfig fat_tree(int servers, double gbps_ = 100.0) {
-  topo::FabricConfig c;
-  c.kind = topo::FabricKind::kFatTree;
-  c.n_servers = servers;
-  c.nic_gbps = gbps_;
-  return c;
+  return topo::FabricConfig::fat_tree(servers).with_nic_gbps(gbps_);
 }
 
 topo::FabricConfig mixnet(int servers, int region, double gbps_ = 100.0) {
-  topo::FabricConfig c;
-  c.kind = topo::FabricKind::kMixNet;
-  c.n_servers = servers;
-  c.nic_gbps = gbps_;
-  c.region_servers = region;
-  return c;
+  return topo::FabricConfig::mixnet(servers).with_nic_gbps(gbps_).with_region_servers(
+      region);
 }
 
 TEST(Engine, SendMatchesSingleNicThroughput) {
@@ -190,11 +182,7 @@ TEST(Engine, RelayDetourSlowerThanDirect) {
 }
 
 TEST(Engine, TopoOptRoutesMultiHopOverCircuits) {
-  topo::FabricConfig c;
-  c.kind = topo::FabricKind::kTopoOpt;
-  c.n_servers = 4;
-  c.nic_gbps = 100.0;
-  Harness h(c);
+  Harness h(topo::FabricConfig::topoopt(4).with_nic_gbps(100.0));
   // Ring circuits only: 0-1, 1-2, 2-3, 3-0.
   Matrix counts(4, 4, 0.0);
   for (int i = 0; i < 4; ++i) {

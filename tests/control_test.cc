@@ -9,12 +9,9 @@ namespace mixnet::control {
 namespace {
 
 topo::Fabric make_mixnet(int servers = 8, int region = 4) {
-  topo::FabricConfig c;
-  c.kind = topo::FabricKind::kMixNet;
-  c.n_servers = servers;
-  c.nic_gbps = 100.0;
-  c.region_servers = region;
-  return topo::Fabric::build(c);
+  return topo::Fabric::build(topo::FabricConfig::mixnet(servers)
+                                 .with_nic_gbps(100.0)
+                                 .with_region_servers(region));
 }
 
 Matrix hot_pair_demand(std::size_t n, std::size_t a, std::size_t b, double v) {

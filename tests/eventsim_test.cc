@@ -112,6 +112,73 @@ TEST(Simulator, StepProcessesExactlyOne) {
   EXPECT_FALSE(sim.step());
 }
 
+// --- Arena/free-list pool regressions (DESIGN.md §13). -----------------------
+
+TEST(Simulator, HandlesAreNeverZero) {
+  Simulator sim;
+  // FlowSim uses EventId 0 as its "no event scheduled" sentinel; a pool slot
+  // must never pack to it.
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = sim.schedule_at(i, [] {});
+    EXPECT_NE(id, 0u);
+    if (i % 2 == 0) sim.cancel(id);  // force slot recycling
+  }
+  sim.run();
+}
+
+TEST(Simulator, RecycledSlotRejectsStaleHandle) {
+  Simulator sim;
+  bool first = false, second = false;
+  const EventId a = sim.schedule_at(10, [&] { first = true; });
+  ASSERT_TRUE(sim.cancel(a));
+  // The slot is recycled for the next event at a new generation...
+  const EventId b = sim.schedule_at(20, [&] { second = true; });
+  EXPECT_NE(a, b);
+  // ...so the stale handle must not cancel the new occupant (ABA).
+  EXPECT_FALSE(sim.cancel(a));
+  sim.run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(Simulator, StaleHandleOfFiredEventRejectedAfterReuse) {
+  Simulator sim;
+  int fired = 0;
+  const EventId a = sim.schedule_at(1, [&] { ++fired; });
+  sim.run();  // fires and retires a's slot
+  const EventId b = sim.schedule_at(2, [&] { ++fired; });
+  EXPECT_FALSE(sim.cancel(a));  // same slot, older generation
+  EXPECT_TRUE(sim.cancel(b));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, PoolChurnKeepsOrderingAndCounts) {
+  // Heavy schedule/cancel/fire cycling recycles slots; ordering, pending
+  // counts, and tie-breaks must be unaffected by which arena slot an event
+  // happens to land in.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> cancelled;
+  for (int round = 0; round < 50; ++round) {
+    const TimeNs base = sim.now();
+    for (int i = 0; i < 8; ++i) {
+      const int tag = round * 8 + i;
+      const EventId id =
+          sim.schedule_at(base + 1 + i / 4, [&order, tag] { order.push_back(tag); });
+      if (i % 2 == 1) {
+        ASSERT_TRUE(sim.cancel(id));
+        cancelled.push_back(id);
+      }
+    }
+    sim.run_until(base + 2);
+  }
+  EXPECT_TRUE(sim.empty());
+  // Cancelled events never fired; live ones fired in (time, insertion) order.
+  ASSERT_EQ(order.size(), 50u * 4u);
+  for (std::size_t i = 1; i < order.size(); ++i) EXPECT_LT(order[i - 1], order[i]);
+  for (EventId id : cancelled) EXPECT_FALSE(sim.cancel(id));
+}
+
 TEST(Simulator, ManyEventsStress) {
   Simulator sim;
   std::size_t count = 0;

@@ -257,9 +257,9 @@ TEST(ScenarioRegistry, EveryPaperFigureIsRegistered) {
   const std::vector<std::string> expected = {
       "fig02", "fig03", "fig04", "fig05", "fig10", "fig11",
       "fig12", "fig13", "fig14", "fig16", "fig19", "fig21",
-      "fig24", "fig25", "fig26", "fig27", "fig28", "tables",
-      "ablation", "serve-steady", "serve-diurnal", "serve-storm",
-      "fidelity-ladder"};
+      "fig24", "fig25", "fig26", "fig26-xl", "fig27", "fig28",
+      "tables", "ablation", "serve-steady", "serve-diurnal",
+      "serve-storm", "fidelity-ladder"};
   for (const auto& name : expected) {
     const ScenarioInfo* s = reg.find(name);
     ASSERT_NE(s, nullptr) << name;
@@ -291,8 +291,8 @@ TEST(ScenarioRegistry, AnalyticScenarioRunsEndToEnd) {
 
 TEST(ScenarioRegistry, ListScenariosJsonIsWellFormedAndComplete) {
   const std::string json = list_scenarios_json(ScenarioRegistry::paper());
-  EXPECT_EQ(json.front(), '[');
-  EXPECT_EQ(json.substr(json.size() - 2), "]\n");
+  EXPECT_EQ(json.rfind("{\"scenarios\":[", 0), 0u);
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
   EXPECT_NE(json.find("{\"name\":\"fig13\",\"figure\":\"Figure 13\""),
             std::string::npos);
   EXPECT_NE(json.find("\"has_check\":true"), std::string::npos);
@@ -305,6 +305,14 @@ TEST(ScenarioRegistry, ListScenariosJsonIsWellFormedAndComplete) {
        at = json.find("{\"name\":", at + 1))
     ++objects;
   EXPECT_EQ(objects, ScenarioRegistry::paper().scenarios().size());
+  // The topology-preset section: every kind appears with its canonical
+  // Fabric::describe() JSON, and analytic-core variants are included for
+  // the kinds that support them (collapsed-core flag surfaced).
+  EXPECT_NE(json.find("\"fabrics\":["), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"Fat-tree\""), std::string::npos);
+  EXPECT_NE(json.find("\"core_model\":\"analytic\""), std::string::npos);
+  EXPECT_NE(json.find("\"core_collapsed\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"describe\":{"), std::string::npos);
 }
 
 // Golden output for Figure 5, byte-exact against the pre-registry harness

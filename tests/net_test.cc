@@ -613,6 +613,8 @@ TEST(AnalyticTransport, LowerBoundsFluidUnderContention) {
     AnalyticTransport at(sim, net);
     for (LinkId first : {la, lb}) {
       FlowSpec s;
+      s.src = net.link(first).src;
+      s.dst = y;
       s.size = mib(8);
       s.path = {first, lo};
       s.on_complete = [&](FlowId, TimeNs t) {
@@ -627,6 +629,8 @@ TEST(AnalyticTransport, LowerBoundsFluidUnderContention) {
     FlowSim fs(sim, net);
     for (LinkId first : {la, lb}) {
       FlowSpec s;
+      s.src = net.link(first).src;
+      s.dst = y;
       s.size = mib(8);
       s.path = {first, lo};
       s.on_complete = [&](FlowId, TimeNs t) {
@@ -646,6 +650,8 @@ TEST(AnalyticTransport, LowerBoundsFluidUnderContention) {
     eventsim::Simulator sim;
     AnalyticTransport at(sim, net);
     FlowSpec s;
+    s.src = a;
+    s.dst = y;
     s.size = mib(8);
     s.path = {la, lo};
     s.on_complete = [&](FlowId, TimeNs t) { analytic_single = t; };
@@ -656,6 +662,8 @@ TEST(AnalyticTransport, LowerBoundsFluidUnderContention) {
     eventsim::Simulator sim;
     FlowSim fs(sim, net);
     FlowSpec s;
+    s.src = a;
+    s.dst = y;
     s.size = mib(8);
     s.path = {la, lo};
     s.on_complete = [&](FlowId, TimeNs t) { fluid_single = t; };
@@ -678,6 +686,8 @@ TEST(AnalyticTransport, DownLinkYieldsInfiniteCompletion) {
   AnalyticTransport at(sim, net);
   TimeNs done = -1;
   FlowSpec s;
+  s.src = a;
+  s.dst = b;
   s.size = mib(1);
   s.path = {l};
   s.on_complete = [&](FlowId, TimeNs t) { done = t; };

@@ -30,7 +30,7 @@ Matrix uniform_demand(std::size_t n, Bytes per_pair) {
 // ------------------------------------------------------------ cache hits ----
 
 TEST(PhaseCache, HitOnRepeatedDemand) {
-  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 8});
+  auto fabric = topo::Fabric::build(topo::FabricConfig::fat_tree(8));
   PhaseRunner pr(fabric);
   const std::vector<int> group = {0, 1, 2, 3, 4, 5, 6, 7};
   const Matrix demand = uniform_demand(8, mib(8));
@@ -47,7 +47,7 @@ TEST(PhaseCache, HitOnRepeatedDemand) {
 }
 
 TEST(PhaseCache, DistinctDemandMisses) {
-  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 8});
+  auto fabric = topo::Fabric::build(topo::FabricConfig::fat_tree(8));
   PhaseRunner pr(fabric);
   const std::vector<int> group = {0, 1, 2, 3};
   pr.ep_all_to_all(group, uniform_demand(4, mib(8)));
@@ -60,7 +60,7 @@ TEST(PhaseCache, DistinctDemandMisses) {
 }
 
 TEST(PhaseCache, SendAndDpAllReduceCached) {
-  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 8});
+  auto fabric = topo::Fabric::build(topo::FabricConfig::fat_tree(8));
   PhaseRunner pr(fabric);
   const TimeNs s1 = pr.send(0, 5, mib(32));
   const TimeNs s2 = pr.send(0, 5, mib(32));
@@ -78,12 +78,9 @@ TEST(PhaseCache, SendAndDpAllReduceCached) {
 // ---------------------------------------------------------- invalidation ----
 
 TEST(PhaseCache, TopologyEpochBumpInvalidates) {
-  topo::FabricConfig fc;
-  fc.kind = topo::FabricKind::kMixNet;
-  fc.n_servers = 4;
-  fc.region_servers = 4;
-  fc.nic_gbps = 100.0;
-  auto fabric = topo::Fabric::build(fc);
+  auto fabric = topo::Fabric::build(topo::FabricConfig::mixnet(4)
+                                        .with_region_servers(4)
+                                        .with_nic_gbps(100.0));
   PhaseRunner pr(fabric);
   const std::vector<int> group = {0, 1, 2, 3};
   const Matrix demand = uniform_demand(4, mib(64));
@@ -107,7 +104,7 @@ TEST(PhaseCache, TopologyEpochBumpInvalidates) {
 }
 
 TEST(PhaseCache, LinkUpDownBumpsEpoch) {
-  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 4});
+  auto fabric = topo::Fabric::build(topo::FabricConfig::fat_tree(4));
   PhaseRunner pr(fabric);
   pr.send(0, 1, mib(16));
   const auto epoch0 = fabric.epoch();
@@ -120,7 +117,7 @@ TEST(PhaseCache, LinkUpDownBumpsEpoch) {
 }
 
 TEST(PhaseCache, RelayChangeDropsCache) {
-  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 4});
+  auto fabric = topo::Fabric::build(topo::FabricConfig::fat_tree(4));
   PhaseRunner pr(fabric);
   const TimeNs direct = pr.send(0, 1, mib(100));
   pr.set_relays({{0, 1, 2}});
@@ -132,11 +129,8 @@ TEST(PhaseCache, RelayChangeDropsCache) {
 }
 
 TEST(PhaseCache, FailureInjectionInvalidatesViaEpoch) {
-  topo::FabricConfig fc;
-  fc.kind = topo::FabricKind::kMixNet;
-  fc.n_servers = 4;
-  fc.region_servers = 4;
-  auto fabric = topo::Fabric::build(fc);
+  auto fabric =
+      topo::Fabric::build(topo::FabricConfig::mixnet(4).with_region_servers(4));
   PhaseRunner pr(fabric);
   const TimeNs healthy = pr.send(0, 1, mib(100));
 
@@ -152,7 +146,7 @@ TEST(PhaseCache, FailureInjectionInvalidatesViaEpoch) {
 }
 
 TEST(PhaseCache, LruBoundEvictsOldest) {
-  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 8});
+  auto fabric = topo::Fabric::build(topo::FabricConfig::fat_tree(8));
   PhaseRunner pr(fabric, {}, /*cache_capacity=*/2);
   pr.send(0, 1, mib(1));
   pr.send(0, 2, mib(1));
@@ -199,7 +193,7 @@ TEST(MatrixHash, DistinguishesContentAndShape) {
 // random instants while links flap; after every mutation the incremental
 // fast path must match the from-scratch reference solve to 1e-9.
 TEST(FlowSimEquivalence, IncrementalMatchesReferenceUnderChurn) {
-  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 8});
+  auto fabric = topo::Fabric::build(topo::FabricConfig::fat_tree(8));
   net::Network& net = fabric.network();
   net::EcmpRouter router(net);
   eventsim::Simulator sim;
@@ -262,7 +256,7 @@ TEST(FlowSimEquivalence, IncrementalMatchesReferenceUnderChurn) {
 }
 
 TEST(FlowSimEquivalence, LinkThroughputIndexMatchesPathScan) {
-  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 8});
+  auto fabric = topo::Fabric::build(topo::FabricConfig::fat_tree(8));
   net::Network& net = fabric.network();
   net::EcmpRouter router(net);
   eventsim::Simulator sim;
@@ -292,6 +286,92 @@ TEST(FlowSimEquivalence, LinkThroughputIndexMatchesPathScan) {
         if (p == lid) expect += fs.flow_rate(f.id);
     EXPECT_NEAR(fs.link_throughput(lid), expect, 1e-6 * std::max(1.0, expect));
   }
+}
+
+// --- Analytic-core equivalence (DESIGN.md §13). ------------------------------
+//
+// At oversub <= 1 a ToR uplink's fair share is a mediant of its NIC links'
+// shares, so it can never be the unique max-min bottleneck: dropping the
+// core from the graph must preserve every phase duration. Tolerance is
+// 1e-9 relative (or 2 ns absolute) -- the two graphs solve over different
+// link sets, so last-ulp rate noise can shift a completion across an
+// integer-nanosecond boundary.
+
+void expect_phase_eq(TimeNs explicit_t, TimeNs analytic_t, const char* what) {
+  const double tol =
+      std::max(2.0, 1e-9 * static_cast<double>(explicit_t));
+  EXPECT_NEAR(static_cast<double>(analytic_t), static_cast<double>(explicit_t),
+              tol)
+      << what;
+}
+
+TEST(AnalyticCoreEquivalence, FatTreePhaseDurationsMatchExplicit) {
+  auto fe = topo::Fabric::build(topo::FabricConfig::fat_tree(8));
+  auto fa = topo::Fabric::build(topo::FabricConfig::fat_tree(8).with_core_model(
+      topo::CoreModel::kAnalytic));
+  PhaseRunner pe(fe), pa(fa);
+  const std::vector<int> group = {0, 1, 2, 3, 4, 5, 6, 7};
+
+  expect_phase_eq(pe.send(0, 7, mib(256)), pa.send(0, 7, mib(256)), "send");
+  expect_phase_eq(pe.all_reduce(group, mib(128)), pa.all_reduce(group, mib(128)),
+                  "all_reduce");
+  Rng rng(11);
+  for (int round = 0; round < 4; ++round) {
+    Matrix demand(8, 8, 0.0);
+    for (std::size_t i = 0; i < 8; ++i)
+      for (std::size_t j = 0; j < 8; ++j)
+        if (i != j) demand(i, j) = mib(1) * (1.0 + 31.0 * rng.uniform());
+    expect_phase_eq(pe.ep_all_to_all(group, demand),
+                    pa.ep_all_to_all(group, demand), "ep_all_to_all");
+  }
+}
+
+TEST(AnalyticCoreEquivalence, MixNetEpsMatchesExplicitUnderCircuitChurn) {
+  auto make = [](topo::CoreModel m) {
+    return topo::Fabric::build(topo::FabricConfig::mixnet(8)
+                                   .with_region_servers(8)
+                                   .with_core_model(m));
+  };
+  auto fe = make(topo::CoreModel::kExplicit);
+  auto fa = make(topo::CoreModel::kAnalytic);
+  PhaseRunner pe(fe), pa(fa);
+  const std::vector<int> group = {0, 1, 2, 3, 4, 5, 6, 7};
+
+  Rng rng(23);
+  for (int round = 0; round < 6; ++round) {
+    // Install identical random circuits on both fabrics: route choice
+    // (circuit-first, then EPS ECMP) must agree between core models.
+    Matrix counts(8, 8, 0.0);
+    const int pairs = 1 + static_cast<int>(rng.uniform_int(3));
+    for (int p = 0; p < pairs; ++p) {
+      const auto a = rng.uniform_int(8);
+      auto b = rng.uniform_int(8);
+      if (b == a) b = (b + 1) % 8;
+      const double k = 1.0 + static_cast<double>(rng.uniform_int(3));
+      counts(a, b) = counts(b, a) = k;
+    }
+    fe.apply_circuits(0, counts);
+    fa.apply_circuits(0, counts);
+
+    Matrix demand(8, 8, 0.0);
+    for (std::size_t i = 0; i < 8; ++i)
+      for (std::size_t j = 0; j < 8; ++j)
+        if (i != j) demand(i, j) = mib(1) * (1.0 + 15.0 * rng.uniform());
+    expect_phase_eq(pe.ep_all_to_all(group, demand),
+                    pa.ep_all_to_all(group, demand), "ep_all_to_all");
+    expect_phase_eq(pe.send(1, 6, mib(64)), pa.send(1, 6, mib(64)), "send");
+  }
+}
+
+TEST(AnalyticCoreEquivalence, PacketBackendRejectedOnAnalyticFabric) {
+  auto fa = topo::Fabric::build(topo::FabricConfig::fat_tree(4).with_core_model(
+      topo::CoreModel::kAnalytic));
+  EXPECT_THROW(PhaseRunner(fa, {}, 16, net::NetBackend::kPacket),
+               std::invalid_argument);
+  // The analytic *transport* rung is fine -- only per-hop packet walking
+  // needs node-contiguous paths.
+  PhaseRunner ok(fa, {}, 16, net::NetBackend::kAnalytic);
+  EXPECT_GT(ok.send(0, 3, mib(16)), 0);
 }
 
 }  // namespace

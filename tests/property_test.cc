@@ -206,11 +206,8 @@ class AllToAllLowerBound : public ::testing::TestWithParam<int> {};
 
 TEST_P(AllToAllLowerBound, NeverBeatsEgressBound) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 31);
-  topo::FabricConfig fc;
-  fc.kind = topo::FabricKind::kFatTree;
-  fc.n_servers = 4;
-  fc.nic_gbps = 100.0;
-  auto fabric = topo::Fabric::build(fc);
+  auto fabric = topo::Fabric::build(
+      topo::FabricConfig::fat_tree(4).with_nic_gbps(100.0));
   eventsim::Simulator sim;
   net::FlowSim flows(sim, fabric.network());
   net::EcmpRouter router(fabric.network());

@@ -18,20 +18,12 @@ namespace mixnet {
 namespace {
 
 topo::FabricConfig fat_tree8() {
-  topo::FabricConfig fc;
-  fc.kind = topo::FabricKind::kFatTree;
-  fc.n_servers = 8;
-  fc.nic_gbps = 100.0;
-  return fc;
+  return topo::FabricConfig::fat_tree(8).with_nic_gbps(100.0);
 }
 
 topo::FabricConfig mixnet8() {
-  topo::FabricConfig fc;
-  fc.kind = topo::FabricKind::kMixNet;
-  fc.n_servers = 8;
-  fc.region_servers = 8;
-  fc.nic_gbps = 100.0;
-  return fc;
+  return topo::FabricConfig::mixnet(8).with_region_servers(8).with_nic_gbps(
+      100.0);
 }
 
 std::vector<int> all8() { return {0, 1, 2, 3, 4, 5, 6, 7}; }

@@ -23,7 +23,7 @@ TrainingConfig base(topo::FabricKind kind, double gbps_ = 400.0) {
 // ----------------------------------------------------------- phase runner ----
 
 TEST(PhaseRunner, SendDurationScalesWithBytes) {
-  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 4});
+  auto fabric = topo::Fabric::build(topo::FabricConfig::fat_tree(4));
   PhaseRunner pr(fabric);
   const TimeNs t1 = pr.send(0, 1, mib(10));
   const TimeNs t2 = pr.send(0, 1, mib(40));
@@ -32,7 +32,7 @@ TEST(PhaseRunner, SendDurationScalesWithBytes) {
 }
 
 TEST(PhaseRunner, DpAllReduceConcurrentRings) {
-  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 8});
+  auto fabric = topo::Fabric::build(topo::FabricConfig::fat_tree(8));
   PhaseRunner pr(fabric);
   // 2 replicas of 4 servers each.
   const TimeNs t = pr.dp_all_reduce(4, 2, mib(64));
@@ -43,7 +43,7 @@ TEST(PhaseRunner, DpAllReduceConcurrentRings) {
 // ------------------------------------------------------ runtime facade ----
 
 TEST(Runtime, AllReduceAndSendReturnElapsedTime) {
-  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 4});
+  auto fabric = topo::Fabric::build(topo::FabricConfig::fat_tree(4));
   runtime::Communicator comm(fabric, {0, 1, 2, 3});
   EXPECT_EQ(comm.size(), 4);
   const TimeNs ar = comm.all_reduce(mib(32));
@@ -54,12 +54,9 @@ TEST(Runtime, AllReduceAndSendReturnElapsedTime) {
 }
 
 TEST(Runtime, AllToAllReconfiguresMixNetRegion) {
-  topo::FabricConfig fc;
-  fc.kind = topo::FabricKind::kMixNet;
-  fc.n_servers = 4;
-  fc.region_servers = 4;
-  fc.nic_gbps = 100.0;
-  auto fabric = topo::Fabric::build(fc);
+  auto fabric = topo::Fabric::build(topo::FabricConfig::mixnet(4)
+                                        .with_region_servers(4)
+                                        .with_nic_gbps(100.0));
   runtime::Communicator comm(fabric, {0, 1, 2, 3});
   Matrix bytes(4, 4, 0.0);
   bytes(0, 1) = mib(200);
@@ -75,12 +72,9 @@ TEST(Runtime, AllToAllReconfiguresMixNetRegion) {
 }
 
 TEST(Runtime, BlockedTimeChargedWhenWindowTooSmall) {
-  topo::FabricConfig fc;
-  fc.kind = topo::FabricKind::kMixNet;
-  fc.n_servers = 4;
-  fc.region_servers = 4;
-  fc.nic_gbps = 100.0;
-  auto fabric = topo::Fabric::build(fc);
+  auto fabric = topo::Fabric::build(topo::FabricConfig::mixnet(4)
+                                        .with_region_servers(4)
+                                        .with_nic_gbps(100.0));
   runtime::RuntimeConfig rc;
   rc.controller.reconfig_delay = ms_to_ns(25);
   runtime::Communicator comm(fabric, {0, 1, 2, 3}, rc);
@@ -92,7 +86,7 @@ TEST(Runtime, BlockedTimeChargedWhenWindowTooSmall) {
 }
 
 TEST(Runtime, RejectsEmptyGroup) {
-  auto fabric = topo::Fabric::build({topo::FabricKind::kFatTree, 4});
+  auto fabric = topo::Fabric::build(topo::FabricConfig::fat_tree(4));
   EXPECT_THROW(runtime::Communicator(fabric, {}), std::invalid_argument);
 }
 
@@ -261,11 +255,8 @@ TEST(TrainingSim, GreedyBeatsUniformCircuitsOnSkewedDemand) {
   // Algorithm 1 ablation: demand-aware circuits beat oblivious spreading
   // when the all-to-all matrix is skewed (the regime §3 measures). On
   // near-uniform demand the two tie -- bench_ablation quantifies both.
-  topo::FabricConfig fc;
-  fc.kind = topo::FabricKind::kMixNet;
-  fc.n_servers = 8;
-  fc.region_servers = 8;
-  fc.nic_gbps = 100.0;
+  const topo::FabricConfig fc =
+      topo::FabricConfig::mixnet(8).with_region_servers(8).with_nic_gbps(100.0);
 
   Matrix demand(8, 8, mib(2));  // cold background
   for (std::size_t i = 0; i < 8; ++i) demand(i, i) = 0.0;
